@@ -1,0 +1,47 @@
+// Reproduces paper Figure 14: MassBFT under mixed node bandwidths. All
+// nodes start at 40 Mbps; 0..7 nodes per group are slowed to 20 Mbps.
+//
+// Expected shape: throughput holds while slow nodes <= 4 (the transfer
+// plan needs only n_data = 3 of 7 chunk paths, so rebuilds ride the fast
+// senders), then drops once 5+ nodes are slow (paper: -36.9%) because
+// fewer than n_data fast chunk paths remain and replication is gated by
+// the slow uplinks.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace massbft;
+using namespace massbft::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  std::printf("=== Fig 14: mixed 40/20 Mbps nodes (3x7, YCSB-A) ===\n");
+
+  TablePrinter table({"slow_nodes", "ktps", "latency_ms", "drop_pct"},
+                     opts.csv);
+  double reference = 0;
+  for (int slow = 0; slow <= 7; ++slow) {
+    ExperimentConfig config;
+    config.topology = TopologyConfig::Nationwide(3, 7);
+    config.topology.wan_bps = 40e6;
+    for (int g = 0; g < 3; ++g)
+      for (int i = 0; i < slow; ++i)
+        config.topology.wan_overrides.push_back(
+            {NodeId{static_cast<uint16_t>(g), static_cast<uint16_t>(6 - i)},
+             20e6});
+    config.protocol = ProtocolConfig::MassBft();
+    config.protocol.pipeline_depth = 8;
+    config.workload = WorkloadKind::kYcsbA;
+    config.duration = RunDuration(opts);
+    config.warmup = WarmupDuration(opts);
+    OperatingPoint point = FindKnee(config, DefaultLadder(opts));
+    if (slow == 0) reference = point.throughput_tps;
+    table.Row({std::to_string(slow),
+               TablePrinter::Num(point.throughput_tps / 1000.0),
+               TablePrinter::Num(point.latency_ms),
+               TablePrinter::Num(
+                   100.0 * (1.0 - point.throughput_tps / reference))});
+  }
+  return 0;
+}

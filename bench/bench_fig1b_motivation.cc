@@ -1,0 +1,38 @@
+// Reproduces paper Figure 1b (motivation): GeoBFT-style one-way leader
+// replication collapses as groups grow. 12-57 nodes across 3 data centers
+// (4-19 per group), 20 Mbps WAN per node, YCSB-A.
+//
+// Expected shape: throughput FALLS as nodes per group rise, because the
+// group leader must ship f+1 full entry copies to every remote group and
+// f grows with the group size — the leader's uplink is the bottleneck.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace massbft;
+using namespace massbft::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::Parse(argc, argv);
+  std::printf("=== Fig 1b: GeoBFT throughput vs deployment size ===\n");
+
+  TablePrinter table({"total_nodes", "nodes_per_group", "f", "ktps",
+                      "latency_ms"},
+                     opts.csv);
+  for (int nodes : {4, 7, 10, 13, 16, 19}) {
+    ExperimentConfig config;
+    config.topology = TopologyConfig::Nationwide(3, nodes);
+    config.protocol = ProtocolConfig::GeoBft();
+    config.protocol.pipeline_depth = 8;
+    config.workload = WorkloadKind::kYcsbA;
+    config.duration = RunDuration(opts);
+    config.warmup = WarmupDuration(opts);
+    OperatingPoint point = FindKnee(config, DefaultLadder(opts));
+    table.Row({std::to_string(3 * nodes), std::to_string(nodes),
+               std::to_string((nodes - 1) / 3),
+               TablePrinter::Num(point.throughput_tps / 1000.0),
+               TablePrinter::Num(point.latency_ms)});
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace massbft {
+namespace bench {
+
+BenchOptions BenchOptions::Parse(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) opts.csv = true;
+    if (std::strcmp(argv[i], "--fast") == 0) opts.fast = true;
+    if (std::strcmp(argv[i], "--full") == 0) opts.fast = false;
+  }
+  return opts;
+}
+
+SimTime RunDuration(const BenchOptions& opts) {
+  return opts.fast ? 3 * kSecond : 6 * kSecond;
+}
+SimTime WarmupDuration(const BenchOptions& opts) {
+  return opts.fast ? 1 * kSecond : 2 * kSecond;
+}
+
+ExperimentResult RunOnce(ExperimentConfig config) {
+  Experiment experiment(std::move(config));
+  Status status = experiment.Setup();
+  MASSBFT_CHECK(status.ok());
+  return experiment.Run();
+}
+
+OperatingPoint FindKnee(ExperimentConfig base,
+                        const std::vector<int>& client_ladder) {
+  OperatingPoint point;
+  for (int clients : client_ladder) {
+    ExperimentConfig config = base;
+    config.clients_per_group = clients;
+    ExperimentResult result = RunOnce(std::move(config));
+    if (result.throughput_tps > point.throughput_tps) {
+      point.throughput_tps = result.throughput_tps;
+      point.clients_per_group = clients;
+      point.result = result;
+    }
+  }
+  // Light-load probe for the intrinsic commit latency.
+  ExperimentConfig light = base;
+  light.clients_per_group = kLatencyProbeClients;
+  ExperimentResult light_result = RunOnce(std::move(light));
+  point.latency_ms = light_result.mean_latency_ms;
+  point.p99_latency_ms = light_result.p99_latency_ms;
+  return point;
+}
+
+std::vector<int> DefaultLadder(const BenchOptions& opts) {
+  if (opts.fast) return {500, 2000, 8000};
+  return {250, 1000, 4000, 12000};
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns, bool csv)
+    : columns_(std::move(columns)), csv_(csv) {
+  widths_.reserve(columns_.size());
+  for (const std::string& c : columns_)
+    widths_.push_back(std::max<size_t>(c.size() + 2, 14));
+}
+
+void TablePrinter::PrintHeader() {
+  if (header_printed_) return;
+  header_printed_ = true;
+  if (csv_) {
+    for (size_t i = 0; i < columns_.size(); ++i)
+      std::printf("%s%s", columns_[i].c_str(),
+                  i + 1 < columns_.size() ? "," : "\n");
+    return;
+  }
+  for (size_t i = 0; i < columns_.size(); ++i)
+    std::printf("%-*s", static_cast<int>(widths_[i]), columns_[i].c_str());
+  std::printf("\n");
+  size_t total = 0;
+  for (size_t w : widths_) total += w;
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+}
+
+void TablePrinter::Row(const std::vector<std::string>& cells) {
+  PrintHeader();
+  if (csv_) {
+    for (size_t i = 0; i < cells.size(); ++i)
+      std::printf("%s%s", cells[i].c_str(), i + 1 < cells.size() ? "," : "\n");
+    return;
+  }
+  for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+    size_t width = std::max(widths_[i], cells[i].size() + 2);
+    std::printf("%-*s", static_cast<int>(width), cells[i].c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string TablePrinter::Num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace massbft

@@ -1,0 +1,73 @@
+// Quickstart: run a 3-group MassBFT cluster on the simulated nationwide
+// testbed under YCSB-A and print throughput/latency.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [protocol]
+// where protocol is one of: massbft baseline geobft steward iss br ebr.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/config.h"
+#include "core/experiment.h"
+
+using namespace massbft;
+
+namespace {
+
+ProtocolConfig ParseProtocol(const std::string& name) {
+  if (name == "baseline") return ProtocolConfig::Baseline();
+  if (name == "geobft") return ProtocolConfig::GeoBft();
+  if (name == "steward") return ProtocolConfig::Steward();
+  if (name == "iss") return ProtocolConfig::Iss();
+  if (name == "br") return ProtocolConfig::Br();
+  if (name == "ebr") return ProtocolConfig::Ebr();
+  return ProtocolConfig::MassBft();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string protocol = argc > 1 ? argv[1] : "massbft";
+
+  ExperimentConfig config;
+  config.topology = TopologyConfig::Nationwide(/*num_groups=*/3,
+                                               /*nodes_per_group=*/7);
+  config.protocol = ParseProtocol(protocol);
+  config.workload = WorkloadKind::kYcsbA;
+  config.workload_scale = 0.1;  // 100k rows: quick demo.
+  config.clients_per_group = 300;
+  config.duration = 6 * kSecond;
+  config.warmup = 2 * kSecond;
+
+  std::printf("protocol=%s topology=3x7 nationwide workload=YCSB-A\n",
+              ProtocolKindName(config.protocol.kind));
+
+  Experiment experiment(config);
+  Status status = experiment.Setup();
+  if (!status.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ExperimentResult result = experiment.Run();
+
+  std::printf("throughput      : %8.1f ktps\n",
+              result.throughput_tps / 1000.0);
+  std::printf("latency mean    : %8.1f ms\n", result.mean_latency_ms);
+  std::printf("latency p50/p99 : %8.1f / %.1f ms\n", result.p50_latency_ms,
+              result.p99_latency_ms);
+  std::printf("avg batch size  : %8.1f txns\n", result.avg_batch_size);
+  std::printf("entries proposed: %8llu\n",
+              static_cast<unsigned long long>(result.entries_proposed));
+  std::printf("WAN bytes/entry : %8.0f\n", result.wan_bytes_per_entry);
+  std::printf("sim events      : %8llu\n",
+              static_cast<unsigned long long>(result.sim_events));
+
+  int64_t agreement = experiment.CheckAgreement();
+  std::printf("agreement check : %s (%lld entries)\n",
+              agreement >= 0 ? "OK" : "DIVERGED",
+              static_cast<long long>(agreement));
+  return agreement >= 0 ? 0 : 1;
+}

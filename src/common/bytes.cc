@@ -1,0 +1,16 @@
+#include "common/bytes.h"
+
+namespace massbft {
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xF]);
+  }
+  return out;
+}
+
+}  // namespace massbft

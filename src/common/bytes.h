@@ -1,0 +1,27 @@
+#ifndef MASSBFT_COMMON_BYTES_H_
+#define MASSBFT_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace massbft {
+
+/// The project-wide raw byte buffer. Entries, chunks and wire messages are
+/// all carried as Bytes; sizes of these buffers are what the network
+/// simulator charges against link bandwidth.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a string literal / std::string payload into Bytes.
+inline Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Renders a byte buffer as lowercase hex (for logs and test diagnostics).
+std::string ToHex(const uint8_t* data, size_t len);
+inline std::string ToHex(const Bytes& b) { return ToHex(b.data(), b.size()); }
+
+}  // namespace massbft
+
+#endif  // MASSBFT_COMMON_BYTES_H_

@@ -1,0 +1,25 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace massbft {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  static const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR", "OFF"};
+  std::fprintf(stderr, "[%s] %s:%d: %s\n", kNames[static_cast<int>(level)],
+               file, line, msg.c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace massbft

@@ -1,0 +1,61 @@
+#ifndef MASSBFT_COMMON_LOGGING_H_
+#define MASSBFT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace massbft {
+
+/// Minimal leveled logger. Protocol nodes log through this; the default
+/// threshold (kWarn) keeps simulation runs quiet, tests can lower it to
+/// trace message flow.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level that is actually emitted.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace massbft
+
+#define MASSBFT_LOG(level)                                                 \
+  if (::massbft::LogLevel::level < ::massbft::GetLogLevel()) {             \
+  } else                                                                   \
+    ::massbft::internal_logging::LogMessage(::massbft::LogLevel::level,    \
+                                            __FILE__, __LINE__)            \
+        .stream()
+
+/// Fatal invariant check: always on, aborts with a message. Used for
+/// conditions that indicate a bug in this codebase, never for input errors
+/// (those return Status).
+#define MASSBFT_CHECK(cond)                                               \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,       \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // MASSBFT_COMMON_LOGGING_H_

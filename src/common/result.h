@@ -1,0 +1,69 @@
+#ifndef MASSBFT_COMMON_RESULT_H_
+#define MASSBFT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace massbft {
+
+/// Status-or-value, in the spirit of absl::StatusOr / arrow::Result.
+/// A Result holds either a value of T (status().ok() == true) or a non-OK
+/// Status. Accessing the value of an errored Result is a programming error
+/// (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : data_(std::move(value)) {}            // NOLINT
+  Result(Status status) : data_(std::move(status)) {      // NOLINT
+    assert(!std::get<Status>(data_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace massbft
+
+/// Evaluates a Result expression; on error propagates the Status, otherwise
+/// moves the value into `lhs`. Usable in functions returning Status or
+/// Result<U>.
+#define MASSBFT_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto MASSBFT_CONCAT_(_result_, __LINE__) = (expr);        \
+  if (!MASSBFT_CONCAT_(_result_, __LINE__).ok())            \
+    return MASSBFT_CONCAT_(_result_, __LINE__).status();    \
+  lhs = std::move(MASSBFT_CONCAT_(_result_, __LINE__)).value()
+#define MASSBFT_CONCAT_(a, b) MASSBFT_CONCAT_IMPL_(a, b)
+#define MASSBFT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // MASSBFT_COMMON_RESULT_H_

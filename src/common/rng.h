@@ -1,0 +1,57 @@
+#ifndef MASSBFT_COMMON_RNG_H_
+#define MASSBFT_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+
+namespace massbft {
+
+/// Deterministic, fast PRNG (SplitMix64 core). Every stochastic component
+/// in the simulator draws from an explicitly seeded Rng so that whole
+/// cluster runs are reproducible bit-for-bit from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    assert(bound > 0);
+    // Rejection sampling to avoid modulo bias on small bounds.
+    uint64_t threshold = -bound % bound;
+    while (true) {
+      uint64_t r = NextU64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng Fork() { return Rng(NextU64() ^ 0xD1B54A32D192ED03ULL); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_COMMON_RNG_H_

@@ -1,0 +1,96 @@
+#ifndef MASSBFT_COMMON_STATUS_H_
+#define MASSBFT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace massbft {
+
+/// Error category returned by fallible operations. Mirrors the usual
+/// database-engine convention (RocksDB/Arrow style): no exceptions cross
+/// public API boundaries; every fallible call returns a Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kCorruption,
+  kOutOfRange,
+  kUnavailable,
+  kAborted,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("Ok",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-type error carrier. Cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+
+  /// "Ok" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace massbft
+
+/// Propagates a non-OK Status to the caller. Usable only in functions
+/// returning Status.
+#define MASSBFT_RETURN_IF_ERROR(expr)                 \
+  do {                                                \
+    ::massbft::Status _status = (expr);               \
+    if (!_status.ok()) return _status;                \
+  } while (0)
+
+#endif  // MASSBFT_COMMON_STATUS_H_

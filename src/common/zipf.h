@@ -1,0 +1,38 @@
+#ifndef MASSBFT_COMMON_ZIPF_H_
+#define MASSBFT_COMMON_ZIPF_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace massbft {
+
+/// Zipfian key-popularity generator following the YCSB reference
+/// implementation (Gray et al.'s algorithm), used for the YCSB-A/B
+/// workloads with the paper's skew factor theta = 0.99.
+///
+/// Draws values in [0, n). The mapping from rank to item is the identity
+/// (callers that want scattered hot keys can hash the result).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Number of items in the distribution's support.
+  uint64_t n() const { return n_; }
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  static double ZetaStatic(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_COMMON_ZIPF_H_

@@ -1,0 +1,110 @@
+#include "consensus/pbft/certifier.h"
+
+#include <utility>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace massbft {
+
+DigestCertifier::DigestCertifier(uint16_t gid, NodeId self, int group_size,
+                                 Callbacks callbacks)
+    : gid_(gid), self_(self), n_(group_size), f_((group_size - 1) / 3),
+      cb_(std::move(callbacks)) {
+  MASSBFT_CHECK(self.group == gid);
+  (void)n_;
+}
+
+Digest DigestCertifier::DecisionDigest(const DecisionId& decision) {
+  BinaryWriter w(32);
+  w.PutU8(decision.kind);
+  w.PutU16(decision.voter_gid);
+  w.PutU16(decision.target_gid);
+  w.PutU64(decision.target_seq);
+  w.PutU64(decision.ts);
+  return Sha256::Hash(w.buffer());
+}
+
+void DigestCertifier::Start(const DecisionId& decision) {
+  Pending& p = pending_[decision];
+  if (p.votes.count(self_.index) > 0) return;  // Already started.
+  p.decision = decision;
+  p.initiator = self_;
+
+  Digest digest = DecisionDigest(decision);
+  Bytes payload(digest.begin(), digest.end());
+  Signature own = cb_.sign(payload);
+  p.votes[self_.index] = own;
+  p.voted = true;
+  cb_.broadcast(std::make_shared<CertifyRequestMsg>(decision, own));
+
+  // Degenerate single-node group: the leader's own share is the quorum.
+  if (!p.certified && static_cast<int>(p.votes.size()) >= quorum()) {
+    p.certified = true;
+    Certificate cert;
+    cert.gid = gid_;
+    cert.digest = digest;
+    cert.sigs.emplace_back(self_, own);
+    cb_.on_certified(p.decision, std::move(cert));
+  }
+}
+
+void DigestCertifier::OnMessage(NodeId from, const MessagePtr& message) {
+  if (from.group != gid_) return;
+  switch (static_cast<MessageType>(message->type())) {
+    case MessageType::kCertifyRequest: {
+      const auto& req = static_cast<const CertifyRequestMsg&>(*message);
+      Digest digest = DecisionDigest(req.decision());
+      Bytes payload(digest.begin(), digest.end());
+      if (!cb_.verify(from, payload, req.sig())) return;
+      Pending& p = pending_[req.decision()];
+      p.decision = req.decision();
+      p.initiator = from;
+      TryVote(p);
+      break;
+    }
+    case MessageType::kCertifyVote: {
+      const auto& vote = static_cast<const CertifyVoteMsg&>(*message);
+      auto it = pending_.find(vote.decision());
+      if (it == pending_.end()) return;  // We never started this decision.
+      Pending& p = it->second;
+      if (p.certified) return;
+      Digest digest = DecisionDigest(vote.decision());
+      Bytes payload(digest.begin(), digest.end());
+      if (!cb_.verify(from, payload, vote.sig())) return;
+      p.votes.emplace(from.index, vote.sig());
+      if (static_cast<int>(p.votes.size()) >= quorum()) {
+        p.certified = true;
+        Certificate cert;
+        cert.gid = gid_;
+        cert.digest = digest;
+        for (const auto& [index, sig] : p.votes) {
+          cert.sigs.emplace_back(NodeId{gid_, index}, sig);
+          if (static_cast<int>(cert.sigs.size()) == quorum()) break;
+        }
+        cb_.on_certified(p.decision, std::move(cert));
+      }
+      break;
+    }
+    default:
+      MASSBFT_LOG(kWarn) << "certifier: unexpected message type "
+                         << message->type();
+  }
+}
+
+void DigestCertifier::TryVote(Pending& p) {
+  if (p.voted) return;
+  if (!cb_.can_sign(p.decision)) return;  // Deferred until state advances.
+  p.voted = true;
+  Digest digest = DecisionDigest(p.decision);
+  Bytes payload(digest.begin(), digest.end());
+  Signature sig = cb_.sign(payload);
+  if (p.initiator == self_) return;  // Leader's own share already recorded.
+  cb_.send_to(p.initiator, std::make_shared<CertifyVoteMsg>(p.decision, sig));
+}
+
+void DigestCertifier::RecheckPending() {
+  for (auto& [decision, p] : pending_) TryVote(p);
+}
+
+}  // namespace massbft

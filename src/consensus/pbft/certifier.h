@@ -1,0 +1,85 @@
+#ifndef MASSBFT_CONSENSUS_PBFT_CERTIFIER_H_
+#define MASSBFT_CONSENSUS_PBFT_CERTIFIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+#include "proto/entry.h"
+#include "proto/messages.h"
+#include "sim/network.h"
+
+namespace massbft {
+
+/// Skip-prepare local consensus on group decisions (paper Section II-A,
+/// after Ziziphus): the group leader broadcasts a decision; followers sign
+/// it once their local admission predicate holds; the leader aggregates
+/// 2f+1 signatures into a Certificate. Used for the Raft `accept` receipt
+/// (a follower only signs once it has the actual entry — this is what makes
+/// Lemma V.1's atomicity argument go through) and for the Raft `commit`
+/// decision.
+class DigestCertifier {
+ public:
+  /// Decision kinds (DecisionId::kind).
+  enum Kind : uint8_t {
+    kAccept = 1,
+    kCommitDecision = 2,
+  };
+
+  struct Callbacks {
+    std::function<void(MessagePtr)> broadcast;
+    std::function<void(NodeId, MessagePtr)> send_to;
+    std::function<Signature(const Bytes&)> sign;
+    std::function<bool(NodeId, const Bytes&, const Signature&)> verify;
+    /// Follower admission predicate. Returning false defers the vote; the
+    /// owner must call RecheckPending() when its state advances (e.g. an
+    /// entry finishes rebuilding).
+    std::function<bool(const DecisionId&)> can_sign;
+    /// Leader-side completion with the aggregated certificate.
+    std::function<void(const DecisionId&, Certificate)> on_certified;
+  };
+
+  DigestCertifier(uint16_t gid, NodeId self, int group_size,
+                  Callbacks callbacks);
+
+  /// The digest all parties sign for a decision (also what remote groups
+  /// verify a resulting Certificate against).
+  static Digest DecisionDigest(const DecisionId& decision);
+
+  /// Leader: starts certification of `decision`.
+  void Start(const DecisionId& decision);
+
+  /// Dispatch for kCertifyRequest / kCertifyVote.
+  void OnMessage(NodeId from, const MessagePtr& message);
+
+  /// Re-evaluates deferred follower votes (call when local state advances).
+  void RecheckPending();
+
+  int quorum() const { return 2 * f_ + 1; }
+
+ private:
+  struct Pending {
+    DecisionId decision;
+    NodeId initiator;  // Where follower votes are sent.
+    bool voted = false;
+    bool certified = false;
+    std::map<uint16_t, Signature> votes;  // Leader-side shares.
+  };
+
+  void TryVote(Pending& p);
+
+  uint16_t gid_;
+  NodeId self_;
+  int n_;
+  int f_;
+  Callbacks cb_;
+  std::map<DecisionId, Pending> pending_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_CONSENSUS_PBFT_CERTIFIER_H_

@@ -1,0 +1,203 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace massbft {
+
+std::string ExperimentResult::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%.1f ktps, latency mean %.1f ms (p50 %.1f, p99 %.1f), "
+                "batch %.0f, aborts %llu",
+                throughput_tps / 1000.0, mean_latency_ms, p50_latency_ms,
+                p99_latency_ms, avg_batch_size,
+                static_cast<unsigned long long>(conflict_aborts));
+  return buf;
+}
+
+Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+Experiment::~Experiment() = default;
+
+GroupNode* Experiment::node(NodeId id) {
+  for (auto& n : nodes_)
+    if (n->id() == id) return n.get();
+  return nullptr;
+}
+
+Status Experiment::Setup() {
+  if (setup_done_) return Status::FailedPrecondition("Setup called twice");
+  setup_done_ = true;
+
+  sim_ = std::make_unique<Simulator>();
+  MASSBFT_ASSIGN_OR_RETURN(Topology topo,
+                           Topology::Create(config_.topology));
+  topology_ = std::make_unique<Topology>(std::move(topo));
+  registry_ = std::make_unique<KeyRegistry>();
+  workload_ = MakeWorkload(config_.workload, config_.workload_scale);
+  if (workload_ == nullptr)
+    return Status::InvalidArgument("unknown workload kind");
+  metrics_ = std::make_unique<MetricsCollector>(config_.warmup,
+                                                config_.duration);
+
+  ctx_ = std::make_unique<ClusterContext>();
+  ctx_->registry = registry_.get();
+  ctx_->topology = topology_.get();
+  ctx_->workload = workload_.get();
+  ctx_->metrics = metrics_.get();
+  ctx_->on_txn_committed = [this](const Transaction& txn, SimTime t) {
+    OnTxnCommitted(txn, t);
+  };
+
+  network_ = std::make_unique<Network>(
+      sim_.get(), topology_.get(),
+      [this](NodeId dst, NodeId src, MessagePtr m) {
+        GroupNode* target = node(dst);
+        if (target != nullptr) target->HandleMessage(src, std::move(m));
+      });
+
+  // Build nodes; the highest-indexed nodes of each group are the Byzantine
+  // ones when fault injection is configured (leaders stay correct, as in
+  // the paper's Fig 15 setup where faulty nodes follow local consensus).
+  for (NodeId id : topology_->AllNodes()) {
+    GroupNode::FaultConfig fault;
+    if (config_.faults.byzantine_per_group > 0 &&
+        id.index >= topology_->group_size(id.group) -
+                        config_.faults.byzantine_per_group) {
+      fault.byzantine = true;
+      fault.byzantine_from = config_.faults.byzantine_from;
+    }
+    auto n = std::make_unique<GroupNode>(sim_.get(), network_.get(), id,
+                                         config_.protocol, ctx_.get(), fault);
+    if (config_.execute_on_all_nodes) n->set_always_execute(true);
+    nodes_.push_back(std::move(n));
+  }
+  for (auto& n : nodes_) n->Start();
+
+  // Closed-loop clients, staggered over the first batch interval.
+  Rng seed_rng(config_.seed);
+  for (int g = 0; g < topology_->num_groups(); ++g) {
+    for (int c = 0; c < config_.clients_per_group; ++c) {
+      Client client;
+      client.id = static_cast<uint32_t>((g << 20) | c);
+      client.group = g;
+      client.rng = seed_rng.Fork();
+      clients_.push_back(std::move(client));
+    }
+  }
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    SimTime stagger = static_cast<SimTime>(
+        seed_rng.NextBelow(static_cast<uint64_t>(config_.protocol
+                                                     .batch_timeout)));
+    sim_->Schedule(stagger, [this, i] { SubmitNext(i); });
+  }
+
+  // Fault schedule.
+  if (config_.faults.crash_group >= 0) {
+    int g = config_.faults.crash_group;
+    sim_->Schedule(config_.faults.crash_at, [this, g] {
+      for (auto& n : nodes_)
+        if (n->id().group == g) n->Crash();
+    });
+    if (config_.faults.recover_at > config_.faults.crash_at) {
+      sim_->Schedule(config_.faults.recover_at, [this, g] {
+        for (auto& n : nodes_)
+          if (n->id().group == g) n->Recover();
+        // The region's clients reconnect and resume their closed loops.
+        for (size_t i = 0; i < clients_.size(); ++i)
+          if (clients_[i].group == g) SubmitNext(i);
+      });
+    }
+  }
+  return Status::OK();
+}
+
+void Experiment::SubmitNext(size_t client_index) {
+  Client& client = clients_[client_index];
+  GroupNode* leader = node(NodeId{static_cast<uint16_t>(client.group), 0});
+  if (leader == nullptr || leader->crashed()) return;  // Group down.
+
+  Transaction txn;
+  txn.client = client.id;
+  txn.id = (static_cast<uint64_t>(client.id) << 32) | client.next_txn++;
+  txn.submit_time = sim_->Now();
+  txn.payload = workload_->NextPayload(client.rng);
+  // Client -> leader half round trip.
+  sim_->Schedule(config_.client_rtt / 2, [this, leader, txn = std::move(txn)] {
+    if (!leader->crashed()) leader->SubmitClientTxn(txn);
+  });
+}
+
+void Experiment::OnTxnCommitted(const Transaction& txn, SimTime commit_time) {
+  metrics_->RecordCommit(txn.submit_time, commit_time + config_.client_rtt / 2);
+  size_t client_index = 0;
+  uint32_t group = txn.client >> 20;
+  uint32_t index = txn.client & 0xFFFFF;
+  client_index = static_cast<size_t>(group) *
+                     static_cast<size_t>(config_.clients_per_group) +
+                 index;
+  if (client_index >= clients_.size()) return;
+  sim_->ScheduleAt(commit_time + config_.client_rtt, [this, client_index] {
+    SubmitNext(client_index);
+  });
+}
+
+ExperimentResult Experiment::Run() {
+  MASSBFT_CHECK(setup_done_);
+  sim_->RunUntil(config_.duration);
+
+  ExperimentResult result;
+  result.throughput_tps = metrics_->ThroughputTps();
+  result.mean_latency_ms = metrics_->MeanLatencyMs();
+  result.p50_latency_ms = metrics_->P50LatencyMs();
+  result.p99_latency_ms = metrics_->P99LatencyMs();
+  result.committed_txns = metrics_->committed();
+  result.phases = *ctx_->phases;
+  result.conflict_aborts = ctx_->phases->conflict_aborts;
+  result.entries_proposed = ctx_->phases->entries;
+  result.avg_batch_size =
+      result.entries_proposed == 0
+          ? 0
+          : ctx_->phases->batch_size_sum /
+                static_cast<double>(result.entries_proposed);
+  result.total_wan_bytes = network_->TotalWanBytesSent();
+  result.wan_bytes_per_entry =
+      result.entries_proposed == 0
+          ? 0
+          : static_cast<double>(result.total_wan_bytes) /
+                static_cast<double>(result.entries_proposed);
+  result.timeline = metrics_->Timeline();
+  result.sim_events = sim_->events_processed();
+  return result;
+}
+
+int64_t Experiment::CheckAgreement() const {
+  // Compare the executed (gid, seq) sequences of all correct executing
+  // nodes; they must be prefixes of one another (Theorem V.6 agreement).
+  const std::vector<std::pair<uint16_t, uint64_t>>* longest = nullptr;
+  for (const auto& n : nodes_) {
+    if (n->crashed() || n->rejoined()) continue;
+    if (!config_.execute_on_all_nodes && n->id().index != 0) continue;
+    if (longest == nullptr ||
+        n->execution_log().size() > longest->size())
+      longest = &n->execution_log();
+  }
+  if (longest == nullptr) return 0;
+  int64_t min_len = static_cast<int64_t>(longest->size());
+  for (const auto& n : nodes_) {
+    if (n->crashed() || n->rejoined()) continue;
+    if (!config_.execute_on_all_nodes && n->id().index != 0) continue;
+    const auto& log = n->execution_log();
+    min_len = std::min<int64_t>(min_len, static_cast<int64_t>(log.size()));
+    for (size_t i = 0; i < log.size(); ++i) {
+      if (log[i] != (*longest)[i]) return -1;
+    }
+  }
+  return min_len;
+}
+
+}  // namespace massbft

@@ -1,0 +1,131 @@
+#ifndef MASSBFT_CORE_EXPERIMENT_H_
+#define MASSBFT_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/config.h"
+#include "core/group_node.h"
+#include "crypto/signature.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "workload/workload.h"
+
+namespace massbft {
+
+/// Fault injection schedule (paper Section VI-E).
+struct FaultPlan {
+  /// Byzantine chunk-tampering nodes per group (the highest-indexed ones),
+  /// active from `byzantine_from`.
+  int byzantine_per_group = 0;
+  SimTime byzantine_from = 0;
+  /// Crash every node of this group at `crash_at` (-1 = none).
+  int crash_group = -1;
+  SimTime crash_at = 0;
+  /// Recover the crashed group at this time (0 = stays down). The group
+  /// rejoins, catches up from a peer and resumes serving its clients
+  /// (paper Section V-C).
+  SimTime recover_at = 0;
+};
+
+/// One simulated cluster run: topology + protocol + workload + faults.
+struct ExperimentConfig {
+  TopologyConfig topology;
+  ProtocolConfig protocol;
+  WorkloadKind workload = WorkloadKind::kYcsbA;
+  /// Scales table cardinalities (1.0 = paper sizes). Tests use small
+  /// scales for speed; benchmarks use 1.0.
+  double workload_scale = 1.0;
+  /// Closed-loop clients per group (each has one transaction outstanding).
+  int clients_per_group = 400;
+  SimTime duration = 12 * kSecond;
+  SimTime warmup = 3 * kSecond;
+  /// Client <-> group leader round trip (clients are near their group).
+  SimTime client_rtt = 1 * kMillisecond;
+  uint64_t seed = 42;
+  FaultPlan faults;
+  /// Execute on every node (agreement tests) instead of leaders only.
+  bool execute_on_all_nodes = false;
+};
+
+/// Aggregated outcome of a run.
+struct ExperimentResult {
+  double throughput_tps = 0;
+  double mean_latency_ms = 0;
+  double p50_latency_ms = 0;
+  double p99_latency_ms = 0;
+  uint64_t committed_txns = 0;
+  uint64_t conflict_aborts = 0;
+  double avg_batch_size = 0;
+  uint64_t total_wan_bytes = 0;
+  uint64_t entries_proposed = 0;
+  /// WAN bytes per proposed entry (replication efficiency, Fig 10).
+  double wan_bytes_per_entry = 0;
+  PhaseStats phases;
+  std::vector<MetricsCollector::TimelinePoint> timeline;
+  uint64_t sim_events = 0;
+
+  std::string Summary() const;
+};
+
+/// Builds and drives one simulated cluster. Usage:
+///   Experiment exp(config);
+///   MASSBFT_RETURN_IF_ERROR(exp.Setup());
+///   ExperimentResult r = exp.Run();
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  Status Setup();
+  ExperimentResult Run();
+
+  // ---- Test hooks.
+  Simulator& sim() { return *sim_; }
+  Network& network() { return *network_; }
+  GroupNode* node(NodeId id);
+  const std::vector<std::unique_ptr<GroupNode>>& nodes() const {
+    return nodes_;
+  }
+  /// Verifies all continuously-correct executing nodes executed identical
+  /// prefixes. Returns the length of the common prefix; -1 on divergence.
+  /// Crashed and rejoined nodes are excluded: a rejoining replica is a
+  /// catching-up learner whose authoritative state would come from a
+  /// snapshot in production (see GroupNode::rejoined()).
+  int64_t CheckAgreement() const;
+
+ private:
+  struct Client {
+    uint32_t id;
+    int group;
+    uint64_t next_txn = 0;
+    Rng rng;
+  };
+
+  void SubmitNext(size_t client_index);
+  void OnTxnCommitted(const Transaction& txn, SimTime commit_time);
+
+  ExperimentConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<KeyRegistry> registry_;
+  std::unique_ptr<Workload> workload_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  std::unique_ptr<ClusterContext> ctx_;
+  std::vector<std::unique_ptr<GroupNode>> nodes_;
+  std::vector<Client> clients_;
+  bool setup_done_ = false;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_CORE_EXPERIMENT_H_

@@ -1,0 +1,34 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace massbft {
+
+Digest HmacSha256(const Bytes& key, const uint8_t* data, size_t len) {
+  constexpr size_t kBlock = 64;
+  uint8_t k0[kBlock] = {0};
+  if (key.size() > kBlock) {
+    Digest kh = Sha256::Hash(key);
+    std::memcpy(k0, kh.data(), kh.size());
+  } else {
+    std::memcpy(k0, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlock], opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k0[i] ^ 0x36;
+    opad[i] = k0[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlock);
+  inner.Update(data, len);
+  Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlock);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace massbft

@@ -1,0 +1,18 @@
+#ifndef MASSBFT_CRYPTO_HMAC_H_
+#define MASSBFT_CRYPTO_HMAC_H_
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace massbft {
+
+/// HMAC-SHA256 (RFC 2104). Backs the simulated-PKI signature scheme in
+/// crypto/signature.h; validated against RFC 4231 test vectors.
+Digest HmacSha256(const Bytes& key, const uint8_t* data, size_t len);
+inline Digest HmacSha256(const Bytes& key, const Bytes& data) {
+  return HmacSha256(key, data.data(), data.size());
+}
+
+}  // namespace massbft
+
+#endif  // MASSBFT_CRYPTO_HMAC_H_

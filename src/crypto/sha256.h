@@ -1,0 +1,54 @@
+#ifndef MASSBFT_CRYPTO_SHA256_H_
+#define MASSBFT_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace massbft {
+
+/// A SHA-256 digest. Used as entry/chunk identifiers, Merkle nodes and
+/// certificate payloads throughout the protocol stack.
+using Digest = std::array<uint8_t, 32>;
+
+/// Renders a digest as lowercase hex.
+std::string DigestToHex(const Digest& d);
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch — validated
+/// against the NIST known-answer vectors in tests/crypto_test.cc.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// reuse.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(const uint8_t* data, size_t len);
+  static Digest Hash(const Bytes& data) { return Hash(data.data(), data.size()); }
+  static Digest Hash(std::string_view s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_CRYPTO_SHA256_H_

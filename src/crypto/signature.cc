@@ -1,0 +1,44 @@
+#include "crypto/signature.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "crypto/hmac.h"
+
+namespace massbft {
+
+void KeyRegistry::RegisterNode(NodeId node) {
+  uint32_t packed = node.Packed();
+  if (keys_.count(packed) > 0) return;
+  // Derive a per-node secret deterministically so clusters are reproducible.
+  Bytes seed = ToBytes("massbft-node-key:");
+  seed.push_back(static_cast<uint8_t>(packed >> 24));
+  seed.push_back(static_cast<uint8_t>(packed >> 16));
+  seed.push_back(static_cast<uint8_t>(packed >> 8));
+  seed.push_back(static_cast<uint8_t>(packed));
+  Digest d = Sha256::Hash(seed);
+  keys_[packed] = Bytes(d.begin(), d.end());
+}
+
+Signature KeyRegistry::Sign(NodeId node, const uint8_t* data,
+                            size_t len) const {
+  auto it = keys_.find(node.Packed());
+  MASSBFT_CHECK(it != keys_.end());
+  Digest mac = HmacSha256(it->second, data, len);
+  Signature sig;
+  // Fill both halves so the signature has the full 64-byte entropy/shape.
+  std::memcpy(sig.data(), mac.data(), 32);
+  Digest second = Sha256::Hash(mac.data(), mac.size());
+  std::memcpy(sig.data() + 32, second.data(), 32);
+  return sig;
+}
+
+bool KeyRegistry::Verify(NodeId node, const uint8_t* data, size_t len,
+                         const Signature& sig) const {
+  auto it = keys_.find(node.Packed());
+  if (it == keys_.end()) return false;
+  Signature expected = Sign(node, data, len);
+  return std::memcmp(expected.data(), sig.data(), sig.size()) == 0;
+}
+
+}  // namespace massbft

@@ -1,0 +1,99 @@
+#include "db/aria.h"
+
+#include <utility>
+
+namespace massbft {
+
+std::optional<Bytes> TxnContext::Get(const std::string& key) {
+  read_set_.insert(key);
+  // Read-your-own-writes within the transaction.
+  auto it = writes_.find(key);
+  if (it != writes_.end()) return it->second;
+  return store_->Get(key);
+}
+
+void TxnContext::Put(const std::string& key, Bytes value) {
+  writes_[key] = std::move(value);
+}
+
+AriaExecutor::AriaExecutor(KvStore* store, ProcedureFactory factory,
+                           bool reordering)
+    : store_(store), factory_(std::move(factory)), reordering_(reordering) {}
+
+AriaBatchResult AriaExecutor::ExecuteBatch(
+    const std::vector<Transaction>& txns) {
+  AriaBatchResult result;
+  const size_t n = txns.size();
+
+  // Phase 1: execute everything against the batch-start snapshot.
+  std::vector<TxnContext> contexts;
+  contexts.reserve(n);
+  std::vector<bool> ok(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    contexts.emplace_back(store_);
+    auto proc = factory_(txns[i]);
+    if (!proc.ok()) {
+      contexts.back().AbortLogic();
+      continue;
+    }
+    Status s = (*proc)->Execute(&contexts.back());
+    ok[i] = s.ok() && !contexts.back().logic_aborted();
+  }
+
+  // Phase 2: reservations — the lowest transaction index wins each key.
+  std::map<std::string, size_t> write_reservation;
+  std::map<std::string, size_t> read_reservation;
+  for (size_t i = 0; i < n; ++i) {
+    if (!ok[i]) continue;
+    for (const auto& [key, value] : contexts[i].writes()) {
+      auto it = write_reservation.find(key);
+      if (it == write_reservation.end() || it->second > i)
+        write_reservation[key] = i;
+    }
+    for (const auto& key : contexts[i].read_set()) {
+      auto it = read_reservation.find(key);
+      if (it == read_reservation.end() || it->second > i)
+        read_reservation[key] = i;
+    }
+  }
+
+  // Phase 3: commit decision.
+  for (size_t i = 0; i < n; ++i) {
+    if (!ok[i]) {
+      ++result.logic_aborts;
+      continue;
+    }
+    bool waw = false, raw = false, war = false;
+    for (const auto& [key, value] : contexts[i].writes()) {
+      auto w = write_reservation.find(key);
+      if (w != write_reservation.end() && w->second < i) waw = true;
+      auto r = read_reservation.find(key);
+      if (r != read_reservation.end() && r->second < i) war = true;
+      if (waw) break;
+    }
+    if (!waw) {
+      for (const auto& key : contexts[i].read_set()) {
+        auto w = write_reservation.find(key);
+        if (w != write_reservation.end() && w->second < i) {
+          raw = true;
+          break;
+        }
+      }
+    }
+    bool conflict = reordering_ ? (waw || (raw && war)) : (waw || raw);
+    if (conflict) {
+      result.conflict_aborts.push_back(i);
+      continue;
+    }
+    // Install writes. With reordering, a reorderable WAR-only writer is
+    // logically ordered after the reader but may share a key with NO
+    // earlier writer (WAW aborted those), so last-writer-wins within the
+    // batch cannot occur: each committed key has exactly one writer.
+    for (const auto& [key, value] : contexts[i].writes())
+      store_->Put(key, value);
+    ++result.committed;
+  }
+  return result;
+}
+
+}  // namespace massbft

@@ -1,0 +1,16 @@
+#include "db/kv_store.h"
+
+namespace massbft {
+
+std::optional<Bytes> KvStore::Get(std::string_view key) const {
+  auto it = map_.find(key);
+  if (it != map_.end()) return it->second;
+  if (default_fn_) return default_fn_(key);
+  return std::nullopt;
+}
+
+void KvStore::Put(std::string key, Bytes value) {
+  map_[std::move(key)] = std::move(value);
+}
+
+}  // namespace massbft

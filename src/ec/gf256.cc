@@ -1,0 +1,30 @@
+#include "ec/gf256.h"
+
+#include <cstddef>
+
+namespace massbft {
+
+uint8_t Gf256::Pow(uint8_t a, unsigned n) {
+  uint8_t result = 1;
+  uint8_t base = a;
+  while (n > 0) {
+    if (n & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    n >>= 1;
+  }
+  return result;
+}
+
+void Gf256::MulAddRow(uint8_t c, const uint8_t* in, uint8_t* out, size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) out[i] ^= in[i];
+    return;
+  }
+  // Per-coefficient 256-entry product table amortizes the log/exp lookups.
+  uint8_t table[256];
+  for (int v = 0; v < 256; ++v) table[v] = Mul(c, static_cast<uint8_t>(v));
+  for (size_t i = 0; i < len; ++i) out[i] ^= table[in[i]];
+}
+
+}  // namespace massbft

@@ -1,0 +1,82 @@
+#ifndef MASSBFT_EC_GF256_H_
+#define MASSBFT_EC_GF256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace massbft {
+
+namespace internal_gf256 {
+
+struct Tables {
+  std::array<uint8_t, 512> exp;
+  std::array<uint8_t, 256> log;
+};
+
+constexpr Tables MakeTables() {
+  Tables t{};
+  uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<uint8_t>(x);
+    t.log[x] = static_cast<uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) t.exp[i] = t.exp[i - 255];
+  t.log[0] = 0;  // Unused sentinel; Mul/Div guard zero operands.
+  return t;
+}
+
+inline constexpr Tables kTables = MakeTables();
+
+}  // namespace internal_gf256
+
+/// Arithmetic in GF(2^8) with the AES/Reed-Solomon polynomial
+/// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 2 — the same field used by
+/// klauspost/reedsolomon, which the paper's implementation relies on.
+/// Multiplication/division go through compile-time log/exp tables.
+class Gf256 {
+ public:
+  static constexpr int kFieldSize = 256;
+
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+  static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
+
+  static uint8_t Mul(uint8_t a, uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    return Exp()[Log()[a] + Log()[b]];
+  }
+
+  /// a / b. b must be nonzero (returns 0 for b == 0 to keep the function
+  /// total; callers validate).
+  static uint8_t Div(uint8_t a, uint8_t b) {
+    if (a == 0 || b == 0) return 0;
+    return Exp()[Log()[a] + 255 - Log()[b]];
+  }
+
+  /// Multiplicative inverse; a must be nonzero.
+  static uint8_t Inv(uint8_t a) {
+    if (a == 0) return 0;
+    return Exp()[255 - Log()[a]];
+  }
+
+  /// a^n for n >= 0.
+  static uint8_t Pow(uint8_t a, unsigned n);
+
+  /// out[i] ^= c * in[i] for i in [0, len) — the inner loop of RS coding.
+  static void MulAddRow(uint8_t c, const uint8_t* in, uint8_t* out,
+                        size_t len);
+
+ private:
+  static constexpr const std::array<uint8_t, 512>& Exp() {
+    return internal_gf256::kTables.exp;
+  }
+  static constexpr const std::array<uint8_t, 256>& Log() {
+    return internal_gf256::kTables.log;
+  }
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_EC_GF256_H_

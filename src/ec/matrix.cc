@@ -1,0 +1,87 @@
+#include "ec/matrix.h"
+
+#include "ec/gf256.h"
+
+namespace massbft {
+
+GfMatrix GfMatrix::Identity(int n) {
+  GfMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.Set(i, i, 1);
+  return m;
+}
+
+GfMatrix GfMatrix::Multiply(const GfMatrix& other) const {
+  GfMatrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = 0; k < cols_; ++k) {
+      uint8_t a = At(r, k);
+      if (a == 0) continue;
+      const uint8_t* src = other.Row(k);
+      uint8_t* dst = out.MutableRow(r);
+      for (int c = 0; c < other.cols_; ++c)
+        dst[c] = Gf256::Add(dst[c], Gf256::Mul(a, src[c]));
+    }
+  }
+  return out;
+}
+
+GfMatrix GfMatrix::SubRows(const std::vector<int>& row_indices) const {
+  GfMatrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    const uint8_t* src = Row(row_indices[i]);
+    uint8_t* dst = out.MutableRow(static_cast<int>(i));
+    for (int c = 0; c < cols_; ++c) dst[c] = src[c];
+  }
+  return out;
+}
+
+Result<GfMatrix> GfMatrix::Invert() const {
+  if (rows_ != cols_)
+    return Status::InvalidArgument("only square matrices can be inverted");
+  int n = rows_;
+  // Augment [A | I] and reduce to [I | A^-1].
+  GfMatrix work(n, 2 * n);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) work.Set(r, c, At(r, c));
+    work.Set(r, n + r, 1);
+  }
+
+  for (int col = 0; col < n; ++col) {
+    // Find pivot.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work.At(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return Status::Corruption("singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < 2 * n; ++c) {
+        uint8_t tmp = work.At(col, c);
+        work.Set(col, c, work.At(pivot, c));
+        work.Set(pivot, c, tmp);
+      }
+    }
+    // Scale pivot row to 1.
+    uint8_t inv = Gf256::Inv(work.At(col, col));
+    for (int c = 0; c < 2 * n; ++c)
+      work.Set(col, c, Gf256::Mul(work.At(col, c), inv));
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      uint8_t factor = work.At(r, col);
+      if (factor == 0) continue;
+      for (int c = 0; c < 2 * n; ++c)
+        work.Set(r, c,
+                 Gf256::Add(work.At(r, c), Gf256::Mul(factor, work.At(col, c))));
+    }
+  }
+
+  GfMatrix out(n, n);
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c) out.Set(r, c, work.At(r, n + c));
+  return out;
+}
+
+}  // namespace massbft

@@ -1,0 +1,48 @@
+#ifndef MASSBFT_EC_MATRIX_H_
+#define MASSBFT_EC_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace massbft {
+
+/// Dense matrix over GF(2^8), sized for erasure-coding work (dimensions up
+/// to 255). Row-major storage.
+class GfMatrix {
+ public:
+  GfMatrix() : rows_(0), cols_(0) {}
+  GfMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0) {}
+
+  static GfMatrix Identity(int n);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  uint8_t At(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  void Set(int r, int c, uint8_t v) { data_[static_cast<size_t>(r) * cols_ + c] = v; }
+  const uint8_t* Row(int r) const { return &data_[static_cast<size_t>(r) * cols_]; }
+  uint8_t* MutableRow(int r) { return &data_[static_cast<size_t>(r) * cols_]; }
+
+  GfMatrix Multiply(const GfMatrix& other) const;
+
+  /// Returns the matrix formed by the given subset of rows.
+  GfMatrix SubRows(const std::vector<int>& row_indices) const;
+
+  /// Gauss-Jordan inverse. Fails with Corruption if singular.
+  Result<GfMatrix> Invert() const;
+
+  friend bool operator==(const GfMatrix&, const GfMatrix&) = default;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_EC_MATRIX_H_

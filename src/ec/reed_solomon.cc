@@ -1,0 +1,159 @@
+#include "ec/reed_solomon.h"
+
+#include <cstring>
+
+#include "ec/gf256.h"
+
+namespace massbft {
+
+Result<ReedSolomon> ReedSolomon::Create(int n_data, int n_parity) {
+  if (n_data < 1) return Status::InvalidArgument("n_data must be >= 1");
+  if (n_parity < 0) return Status::InvalidArgument("n_parity must be >= 0");
+  if (n_data + n_parity > 255)
+    return Status::InvalidArgument(
+        "GF(2^8) Reed-Solomon supports at most 255 total shards");
+
+  int n_total = n_data + n_parity;
+  // Vandermonde: V[r][c] = r^c over GF(2^8).
+  GfMatrix vandermonde(n_total, n_data);
+  for (int r = 0; r < n_total; ++r)
+    for (int c = 0; c < n_data; ++c)
+      vandermonde.Set(r, c, Gf256::Pow(static_cast<uint8_t>(r),
+                                       static_cast<unsigned>(c)));
+
+  // Systematize: E = V * inv(top square of V). Top n_data rows become I.
+  std::vector<int> top(n_data);
+  for (int i = 0; i < n_data; ++i) top[i] = i;
+  MASSBFT_ASSIGN_OR_RETURN(GfMatrix top_inv,
+                           vandermonde.SubRows(top).Invert());
+  GfMatrix systematic = vandermonde.Multiply(top_inv);
+
+  std::vector<int> parity_idx(n_parity);
+  for (int i = 0; i < n_parity; ++i) parity_idx[i] = n_data + i;
+  return ReedSolomon(n_data, n_parity, systematic.SubRows(parity_idx));
+}
+
+void ReedSolomon::EncodingRow(int r, uint8_t* out) const {
+  std::memset(out, 0, n_data_);
+  if (r < n_data_) {
+    out[r] = 1;
+  } else {
+    std::memcpy(out, parity_rows_.Row(r - n_data_), n_data_);
+  }
+}
+
+Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
+    const std::vector<Bytes>& data_shards) const {
+  if (static_cast<int>(data_shards.size()) != n_data_)
+    return Status::InvalidArgument("wrong number of data shards");
+  if (data_shards[0].empty())
+    return Status::InvalidArgument("shards must be nonempty");
+  size_t shard_size = data_shards[0].size();
+  for (const Bytes& s : data_shards)
+    if (s.size() != shard_size)
+      return Status::InvalidArgument("shards must be equally sized");
+
+  std::vector<Bytes> parity(n_parity_, Bytes(shard_size, 0));
+  for (int p = 0; p < n_parity_; ++p) {
+    const uint8_t* row = parity_rows_.Row(p);
+    for (int d = 0; d < n_data_; ++d)
+      Gf256::MulAddRow(row[d], data_shards[d].data(), parity[p].data(),
+                       shard_size);
+  }
+  return parity;
+}
+
+Result<std::vector<Bytes>> ReedSolomon::EncodeMessage(
+    const Bytes& message) const {
+  size_t shard_size = ShardSizeFor(message.size());
+  // Frame: u64 little-endian length, then payload, then zero padding.
+  Bytes framed(static_cast<size_t>(n_data_) * shard_size, 0);
+  uint64_t len = message.size();
+  for (int i = 0; i < 8; ++i)
+    framed[i] = static_cast<uint8_t>(len >> (8 * i));
+  std::memcpy(framed.data() + 8, message.data(), message.size());
+
+  std::vector<Bytes> shards;
+  shards.reserve(n_total());
+  for (int d = 0; d < n_data_; ++d)
+    shards.emplace_back(framed.begin() + static_cast<long>(d) * shard_size,
+                        framed.begin() + static_cast<long>(d + 1) * shard_size);
+  MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> parity, EncodeParity(shards));
+  for (Bytes& p : parity) shards.push_back(std::move(p));
+  return shards;
+}
+
+Result<std::vector<Bytes>> ReedSolomon::ReconstructData(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  if (static_cast<int>(shards.size()) != n_total())
+    return Status::InvalidArgument("shards vector must have n_total entries");
+
+  // Pick the first n_data present shards (preferring data shards, which are
+  // first by index, minimizes matrix work).
+  std::vector<int> present;
+  size_t shard_size = 0;
+  for (int i = 0; i < n_total() && static_cast<int>(present.size()) < n_data_;
+       ++i) {
+    if (!shards[i].has_value()) continue;
+    if (shard_size == 0) {
+      shard_size = shards[i]->size();
+      if (shard_size == 0)
+        return Status::InvalidArgument("shards must be nonempty");
+    } else if (shards[i]->size() != shard_size) {
+      return Status::InvalidArgument("shards must be equally sized");
+    }
+    present.push_back(i);
+  }
+  if (static_cast<int>(present.size()) < n_data_)
+    return Status::Unavailable("not enough shards to reconstruct");
+
+  // Fast path: all data shards present.
+  bool all_data = true;
+  for (int i = 0; i < n_data_; ++i)
+    if (present[i] != i) {
+      all_data = false;
+      break;
+    }
+  std::vector<Bytes> data(n_data_);
+  if (all_data) {
+    for (int i = 0; i < n_data_; ++i) data[i] = *shards[i];
+    return data;
+  }
+
+  // General path: invert the sub-encoding-matrix of the present rows, then
+  // data = inv * present_shards.
+  GfMatrix sub(n_data_, n_data_);
+  for (int r = 0; r < n_data_; ++r) EncodingRow(present[r], sub.MutableRow(r));
+  MASSBFT_ASSIGN_OR_RETURN(GfMatrix inv, sub.Invert());
+
+  for (int d = 0; d < n_data_; ++d) {
+    data[d].assign(shard_size, 0);
+    const uint8_t* row = inv.Row(d);
+    for (int k = 0; k < n_data_; ++k)
+      Gf256::MulAddRow(row[k], shards[present[k]]->data(), data[d].data(),
+                       shard_size);
+  }
+  return data;
+}
+
+Result<Bytes> ReedSolomon::DecodeMessage(
+    const std::vector<std::optional<Bytes>>& shards) const {
+  MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> data, ReconstructData(shards));
+  size_t shard_size = data[0].size();
+  if (shard_size < 8 && n_data_ == 1)
+    return Status::Corruption("shard too small for length header");
+
+  // Reassemble the framed buffer and strip the header.
+  Bytes framed;
+  framed.reserve(shard_size * data.size());
+  for (const Bytes& d : data) framed.insert(framed.end(), d.begin(), d.end());
+  if (framed.size() < 8) return Status::Corruption("framed buffer too small");
+  uint64_t len = 0;
+  for (int i = 0; i < 8; ++i)
+    len |= static_cast<uint64_t>(framed[i]) << (8 * i);
+  if (len > framed.size() - 8)
+    return Status::Corruption("length header exceeds reconstructed payload");
+  return Bytes(framed.begin() + 8, framed.begin() + 8 + static_cast<long>(len));
+}
+
+}  // namespace massbft

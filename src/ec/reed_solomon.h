@@ -1,0 +1,80 @@
+#ifndef MASSBFT_EC_REED_SOLOMON_H_
+#define MASSBFT_EC_REED_SOLOMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "ec/matrix.h"
+
+namespace massbft {
+
+/// Systematic Reed–Solomon erasure coder over GF(2^8).
+///
+/// This is the coding core of MassBFT's encoded bijective log replication
+/// (paper Section IV-B): an entry split into `n_data` data shards plus
+/// `n_parity` parity shards can be rebuilt from ANY `n_data` of the
+/// `n_total = n_data + n_parity` shards, provided all inputs are correct and
+/// correctly indexed (tampered inputs yield garbage — which is why the
+/// protocol layers Merkle-proof bucketing on top, Section IV-C).
+///
+/// The encoding matrix is the klauspost-style systematic Vandermonde
+/// construction: V (n_total x n_data, V[r][c] = r^c) right-multiplied by the
+/// inverse of its top square, making the first n_data rows the identity
+/// while preserving the MDS property. Limited to n_total <= 255 (GF(2^8));
+/// the paper's experiments need at most LCM(40, 40) = 40 chunks.
+class ReedSolomon {
+ public:
+  /// Creates a coder. Requires 1 <= n_data, 0 <= n_parity,
+  /// n_data + n_parity <= 255.
+  static Result<ReedSolomon> Create(int n_data, int n_parity);
+
+  int n_data() const { return n_data_; }
+  int n_parity() const { return n_parity_; }
+  int n_total() const { return n_data_ + n_parity_; }
+
+  /// Computes parity shards for `data_shards` (all must be the same,
+  /// nonzero size). Output vector has n_parity() shards of the same size.
+  Result<std::vector<Bytes>> EncodeParity(
+      const std::vector<Bytes>& data_shards) const;
+
+  /// Splits `message` into data shards (8-byte length header + zero pad)
+  /// and appends parity shards; returns all n_total() shards.
+  Result<std::vector<Bytes>> EncodeMessage(const Bytes& message) const;
+
+  /// Rebuilds all data shards from any subset of >= n_data() present
+  /// shards. `shards[i]` holds shard i, or nullopt if missing; size must be
+  /// n_total().
+  Result<std::vector<Bytes>> ReconstructData(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+  /// Inverse of EncodeMessage: reconstructs and strips the length framing.
+  Result<Bytes> DecodeMessage(
+      const std::vector<std::optional<Bytes>>& shards) const;
+
+  /// Shard size EncodeMessage will use for a message of `message_len` bytes.
+  size_t ShardSizeFor(size_t message_len) const {
+    size_t framed = message_len + 8;
+    return (framed + n_data_ - 1) / n_data_;
+  }
+
+ private:
+  ReedSolomon(int n_data, int n_parity, GfMatrix parity_rows)
+      : n_data_(n_data),
+        n_parity_(n_parity),
+        parity_rows_(std::move(parity_rows)) {}
+
+  /// Full systematic encoding matrix row r (identity row for r < n_data).
+  void EncodingRow(int r, uint8_t* out) const;
+
+  int n_data_;
+  int n_parity_;
+  GfMatrix parity_rows_;  // n_parity x n_data.
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_EC_REED_SOLOMON_H_

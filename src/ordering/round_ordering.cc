@@ -1,0 +1,78 @@
+#include "ordering/round_ordering.h"
+
+#include <utility>
+
+namespace massbft {
+
+RoundOrderingEngine::RoundOrderingEngine(int num_groups, Callbacks callbacks)
+    : num_groups_(num_groups), cb_(std::move(callbacks)) {}
+
+void RoundOrderingEngine::Poke() {
+  if (in_loop_) return;
+  in_loop_ = true;
+  while (true) {
+    // The round may proceed only when every participating group's round-r
+    // entry is executable.
+    bool complete = true;
+    for (int g = 0; g < num_groups_ && complete; ++g) {
+      if (excluded_.count(static_cast<uint16_t>(g)) > 0) continue;
+      if (!cb_.can_execute(static_cast<uint16_t>(g), round_)) complete = false;
+    }
+    if (!complete) break;
+    for (int g = 0; g < num_groups_; ++g) {
+      if (excluded_.count(static_cast<uint16_t>(g)) > 0) continue;
+      cb_.execute(static_cast<uint16_t>(g), round_);
+      ++executed_count_;
+    }
+    ++round_;
+  }
+  in_loop_ = false;
+}
+
+void RoundOrderingEngine::ExcludeGroup(uint16_t gid) {
+  excluded_.insert(gid);
+  Poke();
+}
+
+EpochOrderingEngine::EpochOrderingEngine(int num_groups, Callbacks callbacks)
+    : num_groups_(num_groups), cb_(std::move(callbacks)) {}
+
+void EpochOrderingEngine::OnEpochSealed(uint16_t gid, uint64_t epoch,
+                                        uint64_t first_seq, uint64_t count) {
+  plans_[epoch].per_group[gid] = {first_seq, count};
+  Poke();
+}
+
+void EpochOrderingEngine::Poke() {
+  if (in_loop_) return;
+  in_loop_ = true;
+  while (true) {
+    auto it = plans_.find(epoch_);
+    if (it == plans_.end()) break;
+    EpochPlan& plan = it->second;
+    if (static_cast<int>(plan.per_group.size()) < num_groups_) break;
+
+    // All groups sealed this epoch; every declared entry must be
+    // executable before the barrier opens.
+    bool ready = true;
+    for (const auto& [gid, range] : plan.per_group) {
+      for (uint64_t s = range.first; s < range.first + range.second && ready;
+           ++s)
+        if (!cb_.can_execute(gid, s)) ready = false;
+      if (!ready) break;
+    }
+    if (!ready) break;
+
+    for (const auto& [gid, range] : plan.per_group) {
+      for (uint64_t s = range.first; s < range.first + range.second; ++s) {
+        cb_.execute(gid, s);
+        ++executed_count_;
+      }
+    }
+    plans_.erase(it);
+    ++epoch_;
+  }
+  in_loop_ = false;
+}
+
+}  // namespace massbft

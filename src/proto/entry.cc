@@ -1,0 +1,94 @@
+#include "proto/entry.h"
+
+#include <set>
+#include <utility>
+
+namespace massbft {
+
+void Transaction::EncodeTo(BinaryWriter* w) const {
+  w->PutU64(id);
+  w->PutU32(client);
+  w->PutI64(submit_time);
+  w->PutBytes(payload);
+}
+
+Result<Transaction> Transaction::DecodeFrom(BinaryReader* r) {
+  Transaction txn;
+  MASSBFT_RETURN_IF_ERROR(r->GetU64(&txn.id));
+  MASSBFT_RETURN_IF_ERROR(r->GetU32(&txn.client));
+  MASSBFT_RETURN_IF_ERROR(r->GetI64(&txn.submit_time));
+  MASSBFT_RETURN_IF_ERROR(r->GetBytes(&txn.payload));
+  return txn;
+}
+
+Entry::Entry(uint16_t gid, uint64_t seq, std::vector<Transaction> txns)
+    : gid_(gid), seq_(seq), txns_(std::move(txns)) {
+  BinaryWriter w;
+  w.PutU16(gid_);
+  w.PutU64(seq_);
+  w.PutVarint(txns_.size());
+  for (const Transaction& txn : txns_) txn.EncodeTo(&w);
+  encoded_ = w.Release();
+  digest_ = Sha256::Hash(encoded_);
+}
+
+Result<EntryPtr> Entry::Decode(const Bytes& encoded) {
+  BinaryReader r(encoded);
+  uint16_t gid;
+  uint64_t seq;
+  uint64_t count;
+  MASSBFT_RETURN_IF_ERROR(r.GetU16(&gid));
+  MASSBFT_RETURN_IF_ERROR(r.GetU64(&seq));
+  MASSBFT_RETURN_IF_ERROR(r.GetVarint(&count));
+  if (count > encoded.size())  // Cheap sanity bound before allocating.
+    return Status::Corruption("implausible transaction count");
+  std::vector<Transaction> txns;
+  txns.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MASSBFT_ASSIGN_OR_RETURN(Transaction txn, Transaction::DecodeFrom(&r));
+    txns.push_back(std::move(txn));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes after entry");
+  return std::make_shared<const Entry>(gid, seq, std::move(txns));
+}
+
+void Certificate::EncodeTo(BinaryWriter* w) const {
+  w->PutU16(gid);
+  w->PutRaw(digest.data(), digest.size());
+  w->PutU16(static_cast<uint16_t>(sigs.size()));
+  for (const auto& [node, sig] : sigs) {
+    w->PutU32(node.Packed());
+    w->PutRaw(sig.data(), sig.size());
+  }
+}
+
+Result<Certificate> Certificate::DecodeFrom(BinaryReader* r) {
+  Certificate cert;
+  MASSBFT_RETURN_IF_ERROR(r->GetU16(&cert.gid));
+  MASSBFT_RETURN_IF_ERROR(r->GetRaw(cert.digest.data(), cert.digest.size()));
+  uint16_t count = 0;
+  MASSBFT_RETURN_IF_ERROR(r->GetU16(&count));
+  cert.sigs.reserve(count);
+  for (uint16_t i = 0; i < count; ++i) {
+    uint32_t packed = 0;
+    Signature sig;
+    MASSBFT_RETURN_IF_ERROR(r->GetU32(&packed));
+    MASSBFT_RETURN_IF_ERROR(r->GetRaw(sig.data(), sig.size()));
+    cert.sigs.emplace_back(NodeId::FromPacked(packed), sig);
+  }
+  return cert;
+}
+
+bool Certificate::Verify(const KeyRegistry& registry, int quorum) const {
+  std::set<uint32_t> seen;
+  int valid = 0;
+  Bytes signed_payload(digest.begin(), digest.end());
+  for (const auto& [node, sig] : sigs) {
+    if (node.group != gid) return false;  // Foreign signer: malformed.
+    if (!seen.insert(node.Packed()).second) continue;  // Duplicate.
+    if (registry.Verify(node, signed_payload, sig)) ++valid;
+  }
+  return valid >= quorum;
+}
+
+}  // namespace massbft

@@ -1,0 +1,33 @@
+#include "replication/encoder.h"
+
+#include <utility>
+
+#include "ec/reed_solomon.h"
+
+namespace massbft {
+
+Result<EncodedEntry> EncodeBytesForPlan(const Bytes& payload,
+                                        const TransferPlan& plan) {
+  MASSBFT_ASSIGN_OR_RETURN(
+      ReedSolomon rs, ReedSolomon::Create(plan.n_data(), plan.n_parity()));
+  MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> shards,
+                           rs.EncodeMessage(payload));
+  MASSBFT_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(shards));
+
+  EncodedEntry encoded;
+  encoded.merkle_root = tree.root();
+  encoded.chunks.reserve(shards.size());
+  for (uint32_t id = 0; id < shards.size(); ++id) {
+    MASSBFT_ASSIGN_OR_RETURN(MerkleProof proof, tree.Prove(id));
+    encoded.chunks.push_back(
+        Chunk{id, std::move(shards[id]), std::move(proof)});
+  }
+  return encoded;
+}
+
+Result<EncodedEntry> EncodeEntryForPlan(const Entry& entry,
+                                        const TransferPlan& plan) {
+  return EncodeBytesForPlan(entry.Encoded(), plan);
+}
+
+}  // namespace massbft

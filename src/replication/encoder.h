@@ -1,0 +1,36 @@
+#ifndef MASSBFT_REPLICATION_ENCODER_H_
+#define MASSBFT_REPLICATION_ENCODER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/merkle.h"
+#include "proto/entry.h"
+#include "proto/messages.h"
+#include "replication/transfer_plan.h"
+
+namespace massbft {
+
+/// Sender-side product of encoding one entry for one receiver group: the
+/// erasure-coded chunks with their Merkle tree. Every correct node of the
+/// sender group computes this identically (deterministic split), then sends
+/// only its own chunks per the transfer plan.
+struct EncodedEntry {
+  Digest merkle_root{};
+  /// chunk_id -> Chunk (data + proof), covering all n_total chunks.
+  std::vector<Chunk> chunks;
+};
+
+/// Encodes `entry` into `plan.n_total()` chunks (`plan.n_data()` data +
+/// parity) and builds the Merkle tree over them.
+Result<EncodedEntry> EncodeEntryForPlan(const Entry& entry,
+                                        const TransferPlan& plan);
+
+/// Same, but encodes arbitrary bytes (used by Byzantine senders to encode
+/// a *tampered* entry in the Fig 15 fault-injection experiment).
+Result<EncodedEntry> EncodeBytesForPlan(const Bytes& payload,
+                                        const TransferPlan& plan);
+
+}  // namespace massbft
+
+#endif  // MASSBFT_REPLICATION_ENCODER_H_

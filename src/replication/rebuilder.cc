@@ -1,0 +1,91 @@
+#include "replication/rebuilder.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "ec/reed_solomon.h"
+
+namespace massbft {
+
+EntryRebuilder::EntryRebuilder(Config config) : config_(std::move(config)) {
+  MASSBFT_CHECK(config_.n_total >= config_.n_data && config_.n_data >= 1);
+}
+
+EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
+                                                   uint32_t chunk_id,
+                                                   const Bytes& data,
+                                                   const MerkleProof& proof,
+                                                   const Certificate& cert) {
+  if (complete()) return AddResult::kDuplicate;
+  if (chunk_id >= static_cast<uint32_t>(config_.n_total))
+    return AddResult::kRejected;
+  if (banned_ids_.count(chunk_id) > 0) return AddResult::kDuplicate;
+
+  // The Merkle tree is built over all n_total chunks in id order, so the
+  // proof's leaf index must equal the chunk id and its leaf count must
+  // match the plan.
+  if (proof.index != chunk_id ||
+      proof.leaf_count != static_cast<uint32_t>(config_.n_total))
+    return AddResult::kRejected;
+  if (!MerkleTree::VerifyProof(root, MerkleTree::HashLeaf(data), proof))
+    return AddResult::kRejected;
+
+  Bucket& bucket = buckets_[root];
+  if (bucket.proven_fake) return AddResult::kDuplicate;
+  auto [it, inserted] = bucket.chunks.emplace(
+      chunk_id, std::make_pair(data, proof));
+  if (!inserted) return AddResult::kDuplicate;
+
+  if (static_cast<int>(bucket.chunks.size()) >= config_.n_data)
+    return TryRebuild(root, bucket, cert);
+  return AddResult::kPending;
+}
+
+EntryRebuilder::AddResult EntryRebuilder::TryRebuild(const Digest& root,
+                                                     Bucket& bucket,
+                                                     const Certificate& cert) {
+  auto rs = ReedSolomon::Create(config_.n_data,
+                                config_.n_total - config_.n_data);
+  MASSBFT_CHECK(rs.ok());
+
+  std::vector<std::optional<Bytes>> shards(config_.n_total);
+  for (const auto& [id, chunk] : bucket.chunks) shards[id] = chunk.first;
+  auto decoded = rs->DecodeMessage(shards);
+
+  bool valid = false;
+  EntryPtr candidate;
+  if (decoded.ok()) {
+    auto entry = Entry::Decode(*decoded);
+    if (entry.ok()) {
+      candidate = *entry;
+      valid = config_.validate(cert, candidate->digest());
+    }
+  }
+
+  if (!valid) {
+    // Every chunk in this bucket is provably fake (they share the root);
+    // ban their ids so refills cannot force repeated rebuild attempts
+    // (DoS defense, Section IV-C).
+    bucket.proven_fake = true;
+    for (const auto& [id, chunk] : bucket.chunks) banned_ids_.insert(id);
+    return AddResult::kBucketFake;
+  }
+
+  entry_ = std::move(candidate);
+  winning_root_ = root;
+  return AddResult::kRebuilt;
+}
+
+std::vector<EntryRebuilder::HeldChunk> EntryRebuilder::HeldChunks() const {
+  std::vector<HeldChunk> held;
+  for (const auto& [root, bucket] : buckets_) {
+    if (bucket.proven_fake) continue;
+    // Once rebuilt, only re-share the winning bucket.
+    if (complete() && root != winning_root_) continue;
+    for (const auto& [id, chunk] : bucket.chunks)
+      held.push_back({root, id, chunk.first, chunk.second});
+  }
+  return held;
+}
+
+}  // namespace massbft

@@ -1,0 +1,92 @@
+#ifndef MASSBFT_REPLICATION_REBUILDER_H_
+#define MASSBFT_REPLICATION_REBUILDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "proto/entry.h"
+#include "proto/messages.h"
+
+namespace massbft {
+
+/// Optimistic entry rebuild (paper Section IV-C), one instance per
+/// in-flight entry e_{gid,seq} on a receiver node.
+///
+/// Incoming chunks are verified against their Merkle proofs and grouped
+/// into buckets by Merkle root: chunks sharing a root were provably encoded
+/// from one candidate entry, so tampered chunks can never pollute a correct
+/// bucket. Once a bucket holds n_data distinct chunk ids the entry is
+/// rebuilt and validated against the PBFT certificate; a failed validation
+/// proves every chunk in that bucket fake, and their chunk ids are banned
+/// to stop DoS-by-refill.
+class EntryRebuilder {
+ public:
+  struct Config {
+    int n_total = 0;
+    int n_data = 0;
+    /// Validates the certificate carried with the chunks and binds it to
+    /// the rebuilt entry digest. Typically: cert.digest == digest &&
+    /// cert.Verify(registry, 2f+1 of the sender group).
+    std::function<bool(const Certificate& cert, const Digest& entry_digest)>
+        validate;
+  };
+
+  /// Outcome of feeding one chunk.
+  enum class AddResult {
+    kPending,      // Stored; not enough chunks yet.
+    kDuplicate,    // Already had this chunk (or its id is banned).
+    kRejected,     // Bad Merkle proof / id out of range.
+    kRebuilt,      // Entry reconstructed and validated; see entry().
+    kBucketFake,   // Bucket filled but failed validation; ids banned.
+  };
+
+  explicit EntryRebuilder(Config config);
+
+  /// Feeds one chunk (already transported). `root` is the Merkle root the
+  /// sender committed to; the proof must bind (chunk_id, data) to it.
+  AddResult AddChunk(const Digest& root, uint32_t chunk_id, const Bytes& data,
+                     const MerkleProof& proof, const Certificate& cert);
+
+  bool complete() const { return entry_ != nullptr; }
+  const EntryPtr& entry() const { return entry_; }
+
+  /// Chunks this node verified and holds from the winning/any bucket —
+  /// what it re-shares over LAN. Returns (root, chunk_id, data, proof).
+  struct HeldChunk {
+    Digest root;
+    uint32_t chunk_id;
+    Bytes data;
+    MerkleProof proof;
+  };
+  std::vector<HeldChunk> HeldChunks() const;
+
+  int banned_count() const { return static_cast<int>(banned_ids_.size()); }
+  int bucket_count() const { return static_cast<int>(buckets_.size()); }
+
+ private:
+  struct Bucket {
+    std::map<uint32_t, std::pair<Bytes, MerkleProof>> chunks;
+    bool proven_fake = false;
+  };
+
+  AddResult TryRebuild(const Digest& root, Bucket& bucket,
+                       const Certificate& cert);
+
+  Config config_;
+  std::map<Digest, Bucket> buckets_;
+  std::set<uint32_t> banned_ids_;
+  EntryPtr entry_;
+  Digest winning_root_{};
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_REPLICATION_REBUILDER_H_

@@ -1,0 +1,52 @@
+#include "replication/transfer_plan.h"
+
+#include <numeric>
+
+namespace massbft {
+
+Result<TransferPlan> TransferPlan::Create(int n1, int n2) {
+  if (n1 < 1 || n2 < 1)
+    return Status::InvalidArgument("group sizes must be positive");
+  long lcm = std::lcm(static_cast<long>(n1), static_cast<long>(n2));
+  if (lcm > 255)
+    return Status::InvalidArgument(
+        "LCM(n1, n2) exceeds the 255-shard GF(2^8) limit");
+  int n_total = static_cast<int>(lcm);
+  int nc1 = n_total / n1;
+  int nc2 = n_total / n2;
+  int f1 = (n1 - 1) / 3;
+  int f2 = (n2 - 1) / 3;
+  int n_parity = nc1 * f1 + nc2 * f2;
+  int n_data = n_total - n_parity;
+  if (n_data < 1)
+    return Status::InvalidArgument(
+        "fault bounds leave no data chunks (groups too small/asymmetric)");
+  return TransferPlan(n1, n2, n_total, n_data, n_parity, nc1, nc2);
+}
+
+std::vector<TransferTuple> TransferPlan::AllTuples() const {
+  std::vector<TransferTuple> tuples;
+  tuples.reserve(n_total_);
+  for (int c = 0; c < n_total_; ++c)
+    tuples.push_back({c, SenderOf(c), ReceiverOf(c)});
+  return tuples;
+}
+
+std::vector<TransferTuple> TransferPlan::TuplesForSender(int sender) const {
+  std::vector<TransferTuple> tuples;
+  tuples.reserve(nc1_);
+  for (int c = nc1_ * sender; c < nc1_ * (sender + 1); ++c)
+    tuples.push_back({c, sender, ReceiverOf(c)});
+  return tuples;
+}
+
+std::vector<TransferTuple> TransferPlan::TuplesForReceiver(
+    int receiver) const {
+  std::vector<TransferTuple> tuples;
+  tuples.reserve(nc2_);
+  for (int c = nc2_ * receiver; c < nc2_ * (receiver + 1); ++c)
+    tuples.push_back({c, SenderOf(c), receiver});
+  return tuples;
+}
+
+}  // namespace massbft

@@ -1,0 +1,83 @@
+#ifndef MASSBFT_REPLICATION_TRANSFER_PLAN_H_
+#define MASSBFT_REPLICATION_TRANSFER_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace massbft {
+
+/// One chunk assignment: chunk `chunk` travels from node `sender` in the
+/// sender group to node `receiver` in the receiver group. (Paper Algorithm 1
+/// tuple <c, i, j>.)
+struct TransferTuple {
+  int chunk = 0;
+  int sender = 0;
+  int receiver = 0;
+
+  friend bool operator==(const TransferTuple&, const TransferTuple&) = default;
+};
+
+/// Transfer plan for one sender-group -> receiver-group pair, exactly as
+/// the paper's Algorithm 1:
+///   n_total  = LCM(n1, n2)            total chunks
+///   nc1      = n_total / n1           chunks each sender node sends
+///   nc2      = n_total / n2           chunks each receiver node receives
+///   f1, f2   = floor((n-1)/3)         Byzantine bounds
+///   n_parity = nc1*f1 + nc2*f2        worst-case chunk loss
+///   n_data   = n_total - n_parity     chunks guaranteed delivered
+/// Chunk c is sent by node floor(c/nc1) and received by node floor(c/nc2),
+/// so every chunk crosses the WAN exactly once.
+class TransferPlan {
+ public:
+  /// Builds the plan for groups of size n1 (sender) and n2 (receiver).
+  /// Fails if LCM(n1, n2) > 255 (GF(2^8) shard limit, documented in
+  /// DESIGN.md) or if the fault bounds leave no data chunks.
+  static Result<TransferPlan> Create(int n1, int n2);
+
+  int n1() const { return n1_; }
+  int n2() const { return n2_; }
+  int n_total() const { return n_total_; }
+  int n_data() const { return n_data_; }
+  int n_parity() const { return n_parity_; }
+  int chunks_per_sender() const { return nc1_; }
+  int chunks_per_receiver() const { return nc2_; }
+
+  /// The sender node for chunk c.
+  int SenderOf(int chunk) const { return chunk / nc1_; }
+  /// The receiver node for chunk c.
+  int ReceiverOf(int chunk) const { return chunk / nc2_; }
+
+  /// All tuples, ascending by chunk id.
+  std::vector<TransferTuple> AllTuples() const;
+  /// Tuples for one sender node (paper Algorithm 1 lines 7-10).
+  std::vector<TransferTuple> TuplesForSender(int sender) const;
+  /// Tuples for one receiver node (lines 11-14).
+  std::vector<TransferTuple> TuplesForReceiver(int receiver) const;
+
+  /// WAN copies of the entry this plan transmits: n_total / n_data
+  /// (e.g. 28/13 ~ 2.15 for the paper's 4x7 case study).
+  double EntryCopiesSent() const {
+    return static_cast<double>(n_total_) / static_cast<double>(n_data_);
+  }
+
+ private:
+  TransferPlan(int n1, int n2, int n_total, int n_data, int n_parity, int nc1,
+               int nc2)
+      : n1_(n1), n2_(n2), n_total_(n_total), n_data_(n_data),
+        n_parity_(n_parity), nc1_(nc1), nc2_(nc2) {}
+
+  int n1_;
+  int n2_;
+  int n_total_;
+  int n_data_;
+  int n_parity_;
+  int nc1_;
+  int nc2_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_REPLICATION_TRANSFER_PLAN_H_

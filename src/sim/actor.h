@@ -1,0 +1,140 @@
+#ifndef MASSBFT_SIM_ACTOR_H_
+#define MASSBFT_SIM_ACTOR_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "crypto/signature.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace massbft {
+
+/// Simulated CPU cost parameters (charged in SimTime). Defaults approximate
+/// the paper's ecs.c6.2xlarge nodes (8 cores): ED25519-class signature
+/// operations dominate; execution and hashing are comparatively cheap.
+struct CpuModel {
+  int cores = 8;
+  SimTime sign_cost = 50 * kMicrosecond;
+  SimTime verify_cost = 100 * kMicrosecond;
+  /// Hash throughput charge per byte (SHA-256 ~1 GB/s per core).
+  double hash_ns_per_byte = 1.0;
+  /// Reed-Solomon encode/decode charge per byte (vectorized RS ~1 GB/s).
+  double ec_ns_per_byte = 1.0;
+  /// Executing one transaction against the in-memory store.
+  SimTime exec_cost = 5 * kMicrosecond;
+};
+
+/// Serial-resource approximation of a multi-core CPU: operations queue
+/// FIFO, each charged cost/cores (a saturated k-core machine processes k
+/// times faster than one core; latency of an individual op is under-charged
+/// but throughput — the quantity the paper's bottleneck arguments rest on —
+/// is exact).
+class CpuAccount {
+ public:
+  CpuAccount(Simulator* sim, CpuModel model) : sim_(sim), model_(model) {}
+
+  const CpuModel& model() const { return model_; }
+
+  /// Charges `cost` of single-core work; returns the completion time.
+  SimTime Charge(SimTime cost) {
+    SimTime start = std::max(sim_->Now(), busy_until_);
+    busy_until_ = start + cost / model_.cores;
+    total_charged_ += cost;
+    return busy_until_;
+  }
+
+  /// Charges and schedules `fn` at completion.
+  void ChargeThen(SimTime cost, std::function<void()> fn) {
+    sim_->ScheduleAt(Charge(cost), std::move(fn));
+  }
+
+  SimTime ChargeVerify(int count = 1) {
+    return Charge(model_.verify_cost * count);
+  }
+  SimTime ChargeSign(int count = 1) { return Charge(model_.sign_cost * count); }
+  SimTime ChargeHash(size_t bytes) {
+    return Charge(static_cast<SimTime>(model_.hash_ns_per_byte *
+                                       static_cast<double>(bytes)));
+  }
+  SimTime ChargeEc(size_t bytes) {
+    return Charge(static_cast<SimTime>(model_.ec_ns_per_byte *
+                                       static_cast<double>(bytes)));
+  }
+  SimTime ChargeExec(int txns) { return Charge(model_.exec_cost * txns); }
+
+  SimTime busy_until() const { return busy_until_; }
+  /// Total single-core-equivalent nanoseconds charged (utilization probe).
+  SimTime total_charged() const { return total_charged_; }
+
+ private:
+  Simulator* sim_;
+  CpuModel model_;
+  SimTime busy_until_ = 0;
+  SimTime total_charged_ = 0;
+};
+
+/// Base class for protocol node implementations. Owns the node's CPU
+/// account and wraps network access; subclasses implement HandleMessage.
+class Actor {
+ public:
+  Actor(Simulator* sim, Network* network, NodeId id, CpuModel cpu_model)
+      : sim_(sim), network_(network), id_(id), cpu_(sim, cpu_model) {}
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  NodeId id() const { return id_; }
+  bool crashed() const { return crashed_; }
+
+  /// Delivery entry point: messages whose network transit completed.
+  /// `from` is the sending node.
+  virtual void HandleMessage(NodeId from, MessagePtr message) = 0;
+
+  /// Crash/recover hooks (Fig 15 group-failure experiment).
+  virtual void Crash() {
+    crashed_ = true;
+    network_->CrashNode(id_);
+  }
+  virtual void Recover() {
+    crashed_ = false;
+    network_->RecoverNode(id_);
+  }
+
+  /// Read-only CPU accounting (utilization probes in tests/benches).
+  const CpuAccount& cpu_account() const { return cpu_; }
+
+ protected:
+  Simulator* sim() { return sim_; }
+  Network* network() { return network_; }
+  CpuAccount& cpu() { return cpu_; }
+  SimTime Now() const { return sim_->Now(); }
+
+  void SendWan(NodeId dst, MessagePtr message) {
+    network_->SendWan(id_, dst, std::move(message));
+  }
+  void SendLan(NodeId dst, MessagePtr message) {
+    network_->SendLan(id_, dst, std::move(message));
+  }
+  /// Schedules a local timer; the callback is dropped if the node has
+  /// crashed by the time it fires.
+  void After(SimTime delay, std::function<void()> fn) {
+    sim_->Schedule(delay, [this, fn = std::move(fn)]() {
+      if (!crashed_) fn();
+    });
+  }
+
+ private:
+  Simulator* sim_;
+  Network* network_;
+  NodeId id_;
+  CpuAccount cpu_;
+  bool crashed_ = false;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_SIM_ACTOR_H_

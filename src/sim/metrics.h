@@ -1,0 +1,80 @@
+#ifndef MASSBFT_SIM_METRICS_H_
+#define MASSBFT_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace massbft {
+
+/// Latency sample accumulator with average/percentile reporting.
+class LatencyStats {
+ public:
+  void Record(SimTime latency) { samples_.push_back(latency); }
+
+  size_t count() const { return samples_.size(); }
+  double MeanMs() const;
+  /// p in [0, 1], e.g. 0.5 / 0.99. Returns 0 when empty.
+  double PercentileMs(double p) const;
+
+  void Clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<SimTime> samples_;
+  mutable bool sorted_ = false;
+  void EnsureSorted() const;
+};
+
+/// Per-experiment throughput/latency collector. Protocol nodes report each
+/// committed transaction with its submit time; the collector provides
+///   * overall throughput over a measurement window (warmup excluded),
+///   * mean/percentile commit latency,
+///   * a per-interval timeline for the fault-injection figure (Fig 15).
+class MetricsCollector {
+ public:
+  /// Transactions committed before `warmup` or after `horizon` are excluded
+  /// from throughput/latency aggregates (they still land in the timeline).
+  MetricsCollector(SimTime warmup, SimTime horizon,
+                   SimTime timeline_bucket = kSecond)
+      : warmup_(warmup), horizon_(horizon), bucket_(timeline_bucket) {}
+
+  void RecordCommit(SimTime submit_time, SimTime commit_time, int txns = 1);
+  /// Records a transaction aborted permanently (after retry budget).
+  void RecordAbort(int txns = 1) { aborted_ += txns; }
+
+  uint64_t committed() const { return committed_; }
+  uint64_t aborted() const { return aborted_; }
+
+  /// Committed transactions per second within [warmup, horizon].
+  double ThroughputTps() const;
+  double MeanLatencyMs() const { return latency_.MeanMs(); }
+  double P50LatencyMs() const { return latency_.PercentileMs(0.5); }
+  double P99LatencyMs() const { return latency_.PercentileMs(0.99); }
+
+  struct TimelinePoint {
+    double time_s;
+    double tps;
+    double mean_latency_ms;
+  };
+  /// Per-bucket throughput/latency over the whole run.
+  std::vector<TimelinePoint> Timeline() const;
+
+ private:
+  SimTime warmup_;
+  SimTime horizon_;
+  SimTime bucket_;
+  uint64_t committed_ = 0;
+  uint64_t aborted_ = 0;
+  LatencyStats latency_;
+  struct Bucket {
+    uint64_t txns = 0;
+    SimTime latency_sum = 0;
+  };
+  std::vector<Bucket> timeline_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_SIM_METRICS_H_

@@ -1,0 +1,94 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace massbft {
+
+Network::Network(Simulator* sim, const Topology* topology, DeliverFn deliver)
+    : sim_(sim), topology_(topology), deliver_(std::move(deliver)) {
+  for (NodeId node : topology_->AllNodes()) states_[node.Packed()] = {};
+}
+
+void Network::SendWan(NodeId src, NodeId dst, MessagePtr message) {
+  Send(src, dst, std::move(message), /*wan=*/true);
+}
+
+void Network::SendLan(NodeId src, NodeId dst, MessagePtr message) {
+  MASSBFT_CHECK(src.group == dst.group);
+  Send(src, dst, std::move(message), /*wan=*/false);
+}
+
+void Network::Send(NodeId src, NodeId dst, MessagePtr message, bool wan) {
+  if (IsCrashed(src) || IsCrashed(dst)) return;
+  if (src == dst) {
+    // Loopback: deliver immediately (no link traversal).
+    sim_->Schedule(0, [this, dst, src, m = std::move(message)]() {
+      if (!IsCrashed(dst)) deliver_(dst, src, m);
+    });
+    return;
+  }
+
+  NodeState& s_src = State(src);
+  NodeState& s_dst = State(dst);
+  size_t bytes = message->ByteSize();
+  double up_bps = wan ? topology_->wan_bps(src) : topology_->lan_bps();
+  double down_bps = wan ? topology_->wan_bps(dst) : topology_->lan_bps();
+  Port& up = wan ? s_src.wan : s_src.lan;
+  Port& down = wan ? s_dst.wan : s_dst.lan;
+
+  SimTime now = sim_->Now();
+  SimTime departure = std::max(now, up.up_busy);
+  up.up_busy = departure + SerializationDelay(bytes, up_bps);
+  SimTime arrival = up.up_busy + topology_->WanPropagation(src, dst);
+  SimTime completion =
+      std::max(arrival, down.down_busy + SerializationDelay(bytes, down_bps));
+  down.down_busy = completion;
+
+  if (wan) {
+    s_src.stats.wan_bytes_sent += bytes;
+    s_src.stats.wan_messages_sent += 1;
+    s_dst.stats.wan_bytes_received += bytes;
+  } else {
+    s_src.stats.lan_bytes_sent += bytes;
+    s_src.stats.lan_messages_sent += 1;
+  }
+
+  sim_->ScheduleAt(completion, [this, dst, src, m = std::move(message)]() {
+    if (!IsCrashed(dst)) deliver_(dst, src, m);
+  });
+}
+
+void Network::CrashNode(NodeId node) { crashed_[node.Packed()] = true; }
+
+void Network::RecoverNode(NodeId node) { crashed_.erase(node.Packed()); }
+
+const TrafficStats& Network::StatsFor(NodeId node) const {
+  auto it = states_.find(node.Packed());
+  MASSBFT_CHECK(it != states_.end());
+  return it->second.stats;
+}
+
+TrafficStats Network::TotalStats() const {
+  TrafficStats total;
+  for (const auto& [id, state] : states_) {
+    total.wan_bytes_sent += state.stats.wan_bytes_sent;
+    total.wan_bytes_received += state.stats.wan_bytes_received;
+    total.lan_bytes_sent += state.stats.lan_bytes_sent;
+    total.wan_messages_sent += state.stats.wan_messages_sent;
+    total.lan_messages_sent += state.stats.lan_messages_sent;
+  }
+  return total;
+}
+
+uint64_t Network::TotalWanBytesSent() const {
+  return TotalStats().wan_bytes_sent;
+}
+
+void Network::ResetStats() {
+  for (auto& [id, state] : states_) state.stats = TrafficStats{};
+}
+
+}  // namespace massbft

@@ -1,0 +1,106 @@
+#ifndef MASSBFT_SIM_NETWORK_H_
+#define MASSBFT_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/signature.h"  // NodeId
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "sim/topology.h"
+
+namespace massbft {
+
+/// Base class for anything carried over simulated links. Implementations
+/// report their real encoded byte size; the network charges exactly that
+/// against link bandwidth. Messages are immutable after sending and shared
+/// by pointer between hops (what a zero-copy transport would do); the byte
+/// accounting is still honest because ByteSize() is the serialized size.
+class SimMessage {
+ public:
+  virtual ~SimMessage() = default;
+  virtual size_t ByteSize() const = 0;
+  /// Small integer used by receivers to dispatch (see proto/messages.h).
+  virtual int type() const = 0;
+};
+
+using MessagePtr = std::shared_ptr<const SimMessage>;
+
+/// Per-direction traffic counters, by node.
+struct TrafficStats {
+  uint64_t wan_bytes_sent = 0;
+  uint64_t wan_bytes_received = 0;
+  uint64_t lan_bytes_sent = 0;
+  uint64_t wan_messages_sent = 0;
+  uint64_t lan_messages_sent = 0;
+};
+
+/// Flow-level network model. Every node has
+///   * a WAN uplink and downlink of its configured bandwidth,
+///   * a LAN uplink/downlink (shared data-center fabric, per-node port),
+/// each modeled as a FIFO serialization queue (`busy-until` per direction).
+/// Delivery time of a message =
+///   departure  = max(now, uplink_busy);  uplink_busy = departure + ser_up
+///   arrival    = uplink_busy + propagation(src, dst)
+///   completion = max(arrival, downlink_busy + ser_down);
+///                downlink_busy = completion
+/// which reproduces the two effects the paper's evaluation rests on: a
+/// leader's uplink saturating when it must push f+1 copies per group, and
+/// converging flows queueing at a receiver's downlink.
+///
+/// Messages to/from crashed nodes are silently dropped (crash = the data
+/// center went dark, Section VI-E).
+class Network {
+ public:
+  /// Called when a message completes delivery at `dst`.
+  using DeliverFn =
+      std::function<void(NodeId dst, NodeId src, MessagePtr message)>;
+
+  Network(Simulator* sim, const Topology* topology, DeliverFn deliver);
+
+  /// Sends over WAN (inter-data-center). Also usable intra-group, but
+  /// protocol code should use SendLan for that.
+  void SendWan(NodeId src, NodeId dst, MessagePtr message);
+
+  /// Sends over the data-center LAN. src and dst must be in one group.
+  void SendLan(NodeId src, NodeId dst, MessagePtr message);
+
+  /// Marks a node crashed: all of its queued/future traffic is dropped.
+  void CrashNode(NodeId node);
+  void RecoverNode(NodeId node);
+  bool IsCrashed(NodeId node) const { return crashed_.count(node.Packed()) > 0; }
+
+  const TrafficStats& StatsFor(NodeId node) const;
+  TrafficStats TotalStats() const;
+  /// Sum of WAN bytes sent by all nodes (the paper's Fig 10 metric).
+  uint64_t TotalWanBytesSent() const;
+  void ResetStats();
+
+ private:
+  struct Port {
+    SimTime up_busy = 0;
+    SimTime down_busy = 0;
+  };
+  struct NodeState {
+    Port wan;
+    Port lan;
+    TrafficStats stats;
+  };
+
+  NodeState& State(NodeId node) { return states_[node.Packed()]; }
+
+  void Send(NodeId src, NodeId dst, MessagePtr message, bool wan);
+
+  Simulator* sim_;
+  const Topology* topology_;
+  DeliverFn deliver_;
+  std::unordered_map<uint32_t, NodeState> states_;
+  std::unordered_map<uint32_t, bool> crashed_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_SIM_NETWORK_H_

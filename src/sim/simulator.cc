@@ -1,0 +1,27 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace massbft {
+
+bool Simulator::Step() {
+  if (heap_.empty()) return false;
+  Callback fn = std::move(heap_.top().fn);
+  now_ = heap_.top().time;
+  heap_.pop();
+  ++events_processed_;
+  fn();
+  return true;
+}
+
+void Simulator::RunUntil(SimTime until) {
+  while (!heap_.empty() && heap_.top().time <= until) Step();
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::RunAll() {
+  while (Step()) {
+  }
+}
+
+}  // namespace massbft

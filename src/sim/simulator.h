@@ -1,0 +1,72 @@
+#ifndef MASSBFT_SIM_SIMULATOR_H_
+#define MASSBFT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace massbft {
+
+/// Discrete-event simulator: a monotonic clock plus a min-heap of callbacks.
+/// Events at equal timestamps fire in scheduling order (FIFO), which keeps
+/// whole-cluster runs deterministic for a fixed seed.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` after the current time (delay >= 0;
+  /// negative delays are clamped to 0).
+  void Schedule(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t` (clamped to Now()).
+  void ScheduleAt(SimTime t, Callback fn) {
+    if (t < now_) t = now_;
+    heap_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs one event; returns false if the queue is empty.
+  bool Step();
+
+  /// Runs events until the queue empties or the clock passes `until`.
+  /// Events scheduled beyond `until` stay queued; Now() is advanced to
+  /// `until` when the horizon is hit.
+  void RunUntil(SimTime until);
+
+  /// Drains the queue completely.
+  void RunAll();
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    mutable Callback fn;  // Moved out when popped.
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_SIM_SIMULATOR_H_

@@ -1,0 +1,36 @@
+#ifndef MASSBFT_SIM_TIME_H_
+#define MASSBFT_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace massbft {
+
+/// Simulated time in nanoseconds. All protocol latencies, bandwidth
+/// serialization delays and CPU cost charges are expressed in SimTime.
+using SimTime = int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point second count to SimTime (rounds down).
+constexpr SimTime SecondsToSim(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSecond));
+}
+constexpr double SimToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr SimTime MillisToSim(double ms) {
+  return static_cast<SimTime>(ms * static_cast<double>(kMillisecond));
+}
+
+/// Time to push `bytes` through a link of `bits_per_second` capacity.
+constexpr SimTime SerializationDelay(size_t bytes, double bits_per_second) {
+  return static_cast<SimTime>(static_cast<double>(bytes) * 8.0 /
+                              bits_per_second * static_cast<double>(kSecond));
+}
+
+}  // namespace massbft
+
+#endif  // MASSBFT_SIM_TIME_H_

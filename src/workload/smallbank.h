@@ -1,0 +1,38 @@
+#ifndef MASSBFT_WORKLOAD_SMALLBANK_H_
+#define MASSBFT_WORKLOAD_SMALLBANK_H_
+
+#include <memory>
+
+#include "workload/workload.h"
+
+namespace massbft {
+
+/// SmallBank banking workload (paper Section VI): `num_accounts` accounts
+/// with savings and checking balances, uniform access, six classic
+/// procedures (Balance, DepositChecking, TransactSavings, Amalgamate,
+/// WriteCheck, SendPayment) in equal proportions. Balances are integer
+/// cents.
+class SmallBankWorkload final : public Workload {
+ public:
+  explicit SmallBankWorkload(uint64_t num_accounts);
+
+  WorkloadKind kind() const override { return WorkloadKind::kSmallBank; }
+  const char* name() const override { return "smallbank"; }
+
+  void InstallInitialState(KvStore* store) const override;
+  Bytes NextPayload(Rng& rng) override;
+  Result<std::unique_ptr<Procedure>> Parse(
+      const Bytes& payload) const override;
+
+  static std::string SavingsKey(uint64_t account);
+  static std::string CheckingKey(uint64_t account);
+  /// Initial per-account balance in cents (deterministic).
+  static int64_t InitialBalance(uint64_t account);
+
+ private:
+  uint64_t num_accounts_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_WORKLOAD_SMALLBANK_H_

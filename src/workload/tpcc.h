@@ -1,0 +1,54 @@
+#ifndef MASSBFT_WORKLOAD_TPCC_H_
+#define MASSBFT_WORKLOAD_TPCC_H_
+
+#include <memory>
+
+#include "workload/workload.h"
+
+namespace massbft {
+
+/// TPC-C subset (paper Section VI): 50% NewOrder + 50% Payment over
+/// `num_warehouses` warehouses (paper: 128). Monetary values are integer
+/// cents; rows are binary-encoded structs in the KV store.
+///
+/// Payment updates the warehouse and district YTD totals — the hotspot rows
+/// the paper blames for MassBFT's elevated abort rate when batches grow
+/// (Section VI-A): a batch of B Payments over W warehouses collides with
+/// probability ~B/W per transaction under Aria's deterministic conflict
+/// detection.
+class TpccWorkload final : public Workload {
+ public:
+  static constexpr int kDistrictsPerWarehouse = 10;
+  static constexpr int kCustomersPerDistrict = 3000;
+  static constexpr int kNumItems = 100000;
+  static constexpr int kInitialNextOrderId = 3001;
+
+  explicit TpccWorkload(int num_warehouses);
+
+  WorkloadKind kind() const override { return WorkloadKind::kTpcc; }
+  const char* name() const override { return "tpcc"; }
+
+  void InstallInitialState(KvStore* store) const override;
+  Bytes NextPayload(Rng& rng) override;
+  Result<std::unique_ptr<Procedure>> Parse(
+      const Bytes& payload) const override;
+
+  // Key encodings (exposed for tests).
+  static std::string WarehouseKey(uint32_t w);
+  static std::string DistrictKey(uint32_t w, uint32_t d);
+  static std::string CustomerKey(uint32_t w, uint32_t d, uint32_t c);
+  static std::string StockKey(uint32_t w, uint32_t item);
+  static std::string ItemKey(uint32_t item);
+  static std::string OrderKey(uint32_t w, uint32_t d, uint32_t o);
+  static std::string OrderLineKey(uint32_t w, uint32_t d, uint32_t o, int line);
+
+  /// Deterministic item price in cents (1.00 .. 100.00).
+  static int64_t ItemPrice(uint32_t item);
+
+ private:
+  int num_warehouses_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_WORKLOAD_TPCC_H_

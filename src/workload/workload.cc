@@ -1,0 +1,49 @@
+#include "workload/workload.h"
+
+#include "workload/smallbank.h"
+#include "workload/tpcc.h"
+#include "workload/ycsb.h"
+
+namespace massbft {
+
+const char* WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kYcsbA:
+      return "YCSB-A";
+    case WorkloadKind::kYcsbB:
+      return "YCSB-B";
+    case WorkloadKind::kSmallBank:
+      return "SmallBank";
+    case WorkloadKind::kTpcc:
+      return "TPC-C";
+  }
+  return "unknown";
+}
+
+ProcedureFactory Workload::MakeFactory() const {
+  return [this](const Transaction& txn) { return Parse(txn.payload); };
+}
+
+std::unique_ptr<Workload> MakeWorkload(WorkloadKind kind,
+                                       double config_scale) {
+  switch (kind) {
+    case WorkloadKind::kYcsbA:
+      return std::make_unique<YcsbWorkload>(
+          /*variant_a=*/true,
+          static_cast<uint64_t>(1'000'000 * config_scale));
+    case WorkloadKind::kYcsbB:
+      return std::make_unique<YcsbWorkload>(
+          /*variant_a=*/false,
+          static_cast<uint64_t>(1'000'000 * config_scale));
+    case WorkloadKind::kSmallBank:
+      return std::make_unique<SmallBankWorkload>(
+          static_cast<uint64_t>(1'000'000 * config_scale));
+    case WorkloadKind::kTpcc: {
+      int warehouses = static_cast<int>(128 * config_scale);
+      return std::make_unique<TpccWorkload>(warehouses < 1 ? 1 : warehouses);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace massbft

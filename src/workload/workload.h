@@ -1,0 +1,58 @@
+#ifndef MASSBFT_WORKLOAD_WORKLOAD_H_
+#define MASSBFT_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "db/aria.h"
+#include "db/kv_store.h"
+
+namespace massbft {
+
+/// The paper's three benchmark workloads (Section VI).
+enum class WorkloadKind {
+  kYcsbA,       // 50% read / 50% update, Zipf 0.99, 1M rows x 10 cols.
+  kYcsbB,       // 95% read / 5% update.
+  kSmallBank,   // 1M accounts, uniform, six classic procedures.
+  kTpcc,        // 50% NewOrder + 50% Payment, 128 warehouses.
+};
+
+const char* WorkloadKindName(WorkloadKind kind);
+
+/// A benchmark workload: generates transaction payloads on the client side
+/// and decodes/executes them on the replica side. Payloads are padded to
+/// the paper's reported average transaction sizes (YCSB-A 201 B, YCSB-B
+/// 150 B, SmallBank 108 B, TPC-C 232 B) so network accounting matches.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual WorkloadKind kind() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Registers the deterministic lazy initial state on `store` (DESIGN.md:
+  /// values of never-written keys are synthesized on first read).
+  virtual void InstallInitialState(KvStore* store) const = 0;
+
+  /// Generates the next client transaction payload.
+  virtual Bytes NextPayload(Rng& rng) = 0;
+
+  /// Decodes a payload into an executable stored procedure.
+  virtual Result<std::unique_ptr<Procedure>> Parse(
+      const Bytes& payload) const = 0;
+
+  /// Adapts Parse to the Aria executor's factory signature.
+  ProcedureFactory MakeFactory() const;
+};
+
+/// Creates a workload instance. `config_scale` scales table cardinalities
+/// (1.0 = the paper's sizes); tests use small scales.
+std::unique_ptr<Workload> MakeWorkload(WorkloadKind kind,
+                                       double config_scale = 1.0);
+
+}  // namespace massbft
+
+#endif  // MASSBFT_WORKLOAD_WORKLOAD_H_

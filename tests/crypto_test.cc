@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "crypto/signature.h"
+
+namespace massbft {
+namespace {
+
+// ---------------------------------------------------------------- SHA-256
+// NIST FIPS 180-4 known-answer vectors.
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      DigestToHex(Sha256::Hash(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "SHA-256 block boundaries in interesting ways. 0123456789";
+  Digest one_shot = Sha256::Hash(msg);
+  // Feed in irregular pieces.
+  for (size_t piece : {1u, 3u, 7u, 13u, 31u, 64u, 65u}) {
+    Sha256 h;
+    for (size_t i = 0; i < msg.size(); i += piece)
+      h.Update(std::string_view(msg).substr(i, piece));
+    EXPECT_EQ(h.Finish(), one_shot) << "piece size " << piece;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Digest incremental = [&] {
+      Sha256 h;
+      for (char c : msg) h.Update(std::string_view(&c, 1));
+      return h.Finish();
+    }();
+    EXPECT_EQ(Sha256::Hash(msg), incremental) << "len " << len;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update("garbage");
+  (void)h.Finish();
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ---------------------------------------------------------------- HMAC
+// RFC 4231 test vectors.
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Digest mac = HmacSha256(key, ToBytes("Hi There"));
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = ToBytes("Jefe");
+  Digest mac = HmacSha256(key, ToBytes("what do ya want for nothing?"));
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  Digest mac = HmacSha256(key, data);
+  EXPECT_EQ(DigestToHex(mac),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);  // RFC 4231 case 6.
+  Digest mac = HmacSha256(
+      key, ToBytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(DigestToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------- Signatures
+
+TEST(SignatureTest, SignVerifyRoundTrip) {
+  KeyRegistry registry;
+  NodeId node{1, 3};
+  registry.RegisterNode(node);
+  Bytes msg = ToBytes("entry digest payload");
+  Signature sig = registry.Sign(node, msg);
+  EXPECT_TRUE(registry.Verify(node, msg, sig));
+}
+
+TEST(SignatureTest, TamperedMessageFails) {
+  KeyRegistry registry;
+  NodeId node{0, 0};
+  registry.RegisterNode(node);
+  Bytes msg = ToBytes("original");
+  Signature sig = registry.Sign(node, msg);
+  Bytes tampered = ToBytes("originaX");
+  EXPECT_FALSE(registry.Verify(node, tampered, sig));
+}
+
+TEST(SignatureTest, WrongSignerFails) {
+  KeyRegistry registry;
+  NodeId a{0, 1}, b{0, 2};
+  registry.RegisterNode(a);
+  registry.RegisterNode(b);
+  Bytes msg = ToBytes("payload");
+  Signature sig = registry.Sign(a, msg);
+  EXPECT_FALSE(registry.Verify(b, msg, sig));
+}
+
+TEST(SignatureTest, UnregisteredVerifierFails) {
+  KeyRegistry registry;
+  NodeId a{0, 1};
+  registry.RegisterNode(a);
+  Signature sig = registry.Sign(a, ToBytes("m"));
+  EXPECT_FALSE(registry.Verify(NodeId{5, 5}, ToBytes("m"), sig));
+}
+
+TEST(SignatureTest, RegistrationIsIdempotentAndDeterministic) {
+  KeyRegistry r1, r2;
+  NodeId node{2, 4};
+  r1.RegisterNode(node);
+  r1.RegisterNode(node);
+  r2.RegisterNode(node);
+  EXPECT_EQ(r1.num_nodes(), 1u);
+  // Two registries derive the same key (reproducible clusters).
+  Bytes msg = ToBytes("cross-registry");
+  EXPECT_EQ(r1.Sign(node, msg), r2.Sign(node, msg));
+}
+
+TEST(SignatureTest, SignatureIs64Bytes) {
+  // Wire-size fidelity with ED25519.
+  EXPECT_EQ(sizeof(Signature), 64u);
+}
+
+TEST(NodeIdTest, PackUnpackRoundTrip) {
+  NodeId id{513, 42};
+  EXPECT_EQ(NodeId::FromPacked(id.Packed()), id);
+  EXPECT_LT(NodeId({0, 5}), NodeId({1, 0}));
+}
+
+}  // namespace
+}  // namespace massbft

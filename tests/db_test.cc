@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "db/aria.h"
+#include "db/kv_store.h"
+
+namespace massbft {
+namespace {
+
+// ------------------------------------------------------------- KvStore
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  KvStore store;
+  store.Put("k1", ToBytes("v1"));
+  auto v = store.Get("k1");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, ToBytes("v1"));
+  EXPECT_FALSE(store.Get("missing").has_value());
+}
+
+TEST(KvStoreTest, LazyDefaultSynthesizesPristineValues) {
+  KvStore store;
+  store.SetDefaultValueFn([](std::string_view key) -> std::optional<Bytes> {
+    if (key.substr(0, 2) != "t:") return std::nullopt;
+    return ToBytes("default");
+  });
+  EXPECT_EQ(*store.Get("t:5"), ToBytes("default"));
+  EXPECT_FALSE(store.Get("other").has_value());
+  EXPECT_EQ(store.materialized_size(), 0u);  // Nothing written.
+  store.Put("t:5", ToBytes("written"));
+  EXPECT_EQ(*store.Get("t:5"), ToBytes("written"));
+  EXPECT_EQ(store.materialized_size(), 1u);
+}
+
+TEST(KvStoreTest, ResetRestoresPristine) {
+  KvStore store;
+  store.SetDefaultValueFn(
+      [](std::string_view) -> std::optional<Bytes> { return ToBytes("d"); });
+  store.Put("x", ToBytes("w"));
+  store.Reset();
+  EXPECT_EQ(*store.Get("x"), ToBytes("d"));
+}
+
+// --------------------------------------------------------------- Aria
+
+/// Scripted test procedure: reads then writes fixed keys.
+class ScriptProcedure final : public Procedure {
+ public:
+  ScriptProcedure(std::vector<std::string> reads,
+                  std::vector<std::pair<std::string, std::string>> writes,
+                  bool logic_abort = false)
+      : reads_(std::move(reads)), writes_(std::move(writes)),
+        logic_abort_(logic_abort) {}
+
+  Status Execute(TxnContext* ctx) override {
+    for (const auto& k : reads_) (void)ctx->Get(k);
+    if (logic_abort_) {
+      ctx->AbortLogic();
+      return Status::OK();
+    }
+    for (const auto& [k, v] : writes_) ctx->Put(k, ToBytes(v));
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> reads_;
+  std::vector<std::pair<std::string, std::string>> writes_;
+  bool logic_abort_;
+};
+
+/// Payload codec for scripted procedures:
+///   r-count, [keys], w-count, [key,value], abort-flag.
+Bytes ScriptPayload(std::vector<std::string> reads,
+                    std::vector<std::pair<std::string, std::string>> writes,
+                    bool logic_abort = false) {
+  BinaryWriter w;
+  w.PutVarint(reads.size());
+  for (auto& k : reads) w.PutString(k);
+  w.PutVarint(writes.size());
+  for (auto& [k, v] : writes) {
+    w.PutString(k);
+    w.PutString(v);
+  }
+  w.PutU8(logic_abort ? 1 : 0);
+  return w.Release();
+}
+
+Result<std::unique_ptr<Procedure>> ParseScript(const Transaction& txn) {
+  BinaryReader r(txn.payload);
+  uint64_t nr = 0, nw = 0;
+  std::vector<std::string> reads;
+  std::vector<std::pair<std::string, std::string>> writes;
+  MASSBFT_RETURN_IF_ERROR(r.GetVarint(&nr));
+  for (uint64_t i = 0; i < nr; ++i) {
+    std::string k;
+    MASSBFT_RETURN_IF_ERROR(r.GetString(&k));
+    reads.push_back(std::move(k));
+  }
+  MASSBFT_RETURN_IF_ERROR(r.GetVarint(&nw));
+  for (uint64_t i = 0; i < nw; ++i) {
+    std::string k, v;
+    MASSBFT_RETURN_IF_ERROR(r.GetString(&k));
+    MASSBFT_RETURN_IF_ERROR(r.GetString(&v));
+    writes.emplace_back(std::move(k), std::move(v));
+  }
+  uint8_t abort_flag = 0;
+  MASSBFT_RETURN_IF_ERROR(r.GetU8(&abort_flag));
+  return std::unique_ptr<Procedure>(std::make_unique<ScriptProcedure>(
+      std::move(reads), std::move(writes), abort_flag != 0));
+}
+
+Transaction ScriptTxn(uint64_t id, Bytes payload) {
+  Transaction txn;
+  txn.id = id;
+  txn.payload = std::move(payload);
+  return txn;
+}
+
+class AriaTest : public ::testing::Test {
+ protected:
+  KvStore store_;
+  AriaExecutor executor_{&store_, ParseScript, /*reordering=*/true};
+  AriaExecutor classic_{&store_, ParseScript, /*reordering=*/false};
+};
+
+TEST_F(AriaTest, IndependentTransactionsAllCommit) {
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"a", "1"}})),
+      ScriptTxn(2, ScriptPayload({}, {{"b", "2"}})),
+      ScriptTxn(3, ScriptPayload({"a"}, {{"c", "3"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 3);
+  EXPECT_TRUE(r.conflict_aborts.empty());
+  EXPECT_EQ(*store_.Get("a"), ToBytes("1"));
+  EXPECT_EQ(*store_.Get("b"), ToBytes("2"));
+  // Txn 3 read the snapshot (a absent) but its write still lands.
+  EXPECT_EQ(*store_.Get("c"), ToBytes("3"));
+}
+
+TEST_F(AriaTest, WawAbortsHigherIndexedWriter) {
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"k", "first"}})),
+      ScriptTxn(2, ScriptPayload({}, {{"k", "second"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 1);
+  ASSERT_EQ(r.conflict_aborts.size(), 1u);
+  EXPECT_EQ(r.conflict_aborts[0], 1u);  // The second writer aborts.
+  EXPECT_EQ(*store_.Get("k"), ToBytes("first"));
+}
+
+TEST_F(AriaTest, BlindWritersAndReadersCoexistWithReordering) {
+  // RAW-only (T2 reads T1's written key) commits under reordering: T2 is
+  // logically ordered before T1 using the snapshot value.
+  store_.Put("k", ToBytes("old"));
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"k", "new"}})),
+      ScriptTxn(2, ScriptPayload({"k"}, {{"out", "x"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 2);
+  EXPECT_EQ(*store_.Get("k"), ToBytes("new"));
+}
+
+TEST_F(AriaTest, ClassicModeAbortsOnRaw) {
+  store_.Put("k", ToBytes("old"));
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"k", "new"}})),
+      ScriptTxn(2, ScriptPayload({"k"}, {{"out", "x"}})),
+  };
+  AriaBatchResult r = classic_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 1);
+  ASSERT_EQ(r.conflict_aborts.size(), 1u);
+  EXPECT_EQ(r.conflict_aborts[0], 1u);
+}
+
+TEST_F(AriaTest, RawAndWarTogetherAbortEvenWithReordering) {
+  // T2 reads a key T1 writes (RAW) and writes a key T1 reads (WAR):
+  // unreorderable -> abort (the TPC-C Payment hotspot pattern).
+  store_.Put("w", ToBytes("0"));
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({"w"}, {{"w", "1"}})),
+      ScriptTxn(2, ScriptPayload({"w"}, {{"w", "2"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 1);
+  ASSERT_EQ(r.conflict_aborts.size(), 1u);
+  EXPECT_EQ(*store_.Get("w"), ToBytes("1"));
+}
+
+TEST_F(AriaTest, LogicAbortIsNotRetried) {
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"a", "1"}}, /*logic_abort=*/true)),
+      ScriptTxn(2, ScriptPayload({}, {{"b", "2"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 1);
+  EXPECT_EQ(r.logic_aborts, 1);
+  EXPECT_TRUE(r.conflict_aborts.empty());
+  EXPECT_FALSE(store_.Get("a").has_value());  // No effects.
+}
+
+TEST_F(AriaTest, MalformedPayloadCountsAsLogicAbort) {
+  Transaction bad;
+  bad.id = 1;
+  bad.payload = {0xFF, 0xFF, 0xFF};
+  AriaBatchResult r = executor_.ExecuteBatch({bad});
+  EXPECT_EQ(r.committed, 0);
+  EXPECT_EQ(r.logic_aborts, 1);
+}
+
+TEST_F(AriaTest, ReadYourOwnWritesWithinTransaction) {
+  class RmwProcedure final : public Procedure {
+   public:
+    Status Execute(TxnContext* ctx) override {
+      ctx->Put("x", ToBytes("mine"));
+      auto v = ctx->Get("x");
+      EXPECT_TRUE(v.has_value());
+      EXPECT_EQ(*v, ToBytes("mine"));
+      return Status::OK();
+    }
+  };
+  KvStore store;
+  AriaExecutor exec(
+      &store,
+      [](const Transaction&) -> Result<std::unique_ptr<Procedure>> {
+        return std::unique_ptr<Procedure>(std::make_unique<RmwProcedure>());
+      });
+  Transaction txn;
+  AriaBatchResult r = exec.ExecuteBatch({txn});
+  EXPECT_EQ(r.committed, 1);
+}
+
+TEST_F(AriaTest, SnapshotIsolationWithinBatch) {
+  // All transactions read the pre-batch snapshot, regardless of earlier
+  // writers in the same batch.
+  store_.Put("k", ToBytes("snapshot"));
+  class SnapshotCheck final : public Procedure {
+   public:
+    Status Execute(TxnContext* ctx) override {
+      auto v = ctx->Get("k");
+      EXPECT_EQ(*v, ToBytes("snapshot"));
+      return Status::OK();
+    }
+  };
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"k", "overwritten"}})),
+      ScriptTxn(2, ScriptPayload({"k"}, {})),  // Read-only: sees snapshot.
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 2);
+}
+
+/// Determinism property: the same batch against the same initial state
+/// yields identical results and final state (what lets every replica
+/// execute independently).
+class AriaDeterminismTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AriaDeterminismTest, IdenticalInputsIdenticalOutcome) {
+  Rng rng(GetParam());
+  std::vector<Transaction> batch;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> reads;
+    std::vector<std::pair<std::string, std::string>> writes;
+    int nr = static_cast<int>(rng.NextBelow(3));
+    int nw = static_cast<int>(rng.NextBelow(3));
+    for (int k = 0; k < nr; ++k)
+      reads.push_back("key" + std::to_string(rng.NextBelow(20)));
+    for (int k = 0; k < nw; ++k)
+      writes.push_back({"key" + std::to_string(rng.NextBelow(20)),
+                        std::to_string(rng.NextU64())});
+    batch.push_back(
+        ScriptTxn(static_cast<uint64_t>(i), ScriptPayload(reads, writes)));
+  }
+
+  KvStore s1, s2;
+  AriaExecutor e1(&s1, ParseScript), e2(&s2, ParseScript);
+  AriaBatchResult r1 = e1.ExecuteBatch(batch);
+  AriaBatchResult r2 = e2.ExecuteBatch(batch);
+  EXPECT_EQ(r1.committed, r2.committed);
+  EXPECT_EQ(r1.conflict_aborts, r2.conflict_aborts);
+  for (int k = 0; k < 20; ++k) {
+    std::string key = "key" + std::to_string(k);
+    EXPECT_EQ(s1.Get(key), s2.Get(key)) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AriaDeterminismTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_F(AriaTest, CommittedWritersHaveDisjointWriteSets) {
+  // Three writers to one key: exactly one commits.
+  std::vector<Transaction> batch = {
+      ScriptTxn(1, ScriptPayload({}, {{"hot", "a"}})),
+      ScriptTxn(2, ScriptPayload({}, {{"hot", "b"}})),
+      ScriptTxn(3, ScriptPayload({}, {{"hot", "c"}})),
+  };
+  AriaBatchResult r = executor_.ExecuteBatch(batch);
+  EXPECT_EQ(r.committed, 1);
+  EXPECT_EQ(r.conflict_aborts.size(), 2u);
+  EXPECT_EQ(*store_.Get("hot"), ToBytes("a"));
+}
+
+}  // namespace
+}  // namespace massbft

@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "ec/gf256.h"
+#include "ec/matrix.h"
+#include "ec/reed_solomon.h"
+
+namespace massbft {
+namespace {
+
+// ---------------------------------------------------------------- GF(256)
+
+TEST(Gf256Test, AdditionIsXor) {
+  EXPECT_EQ(Gf256::Add(0x53, 0xCA), 0x53 ^ 0xCA);
+  EXPECT_EQ(Gf256::Sub(0x53, 0xCA), 0x53 ^ 0xCA);
+}
+
+TEST(Gf256Test, MultiplicationIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 1), a);
+    EXPECT_EQ(Gf256::Mul(1, static_cast<uint8_t>(a)), a);
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256Test, KnownProduct) {
+  // In GF(2^8) with polynomial 0x11D: 2 * 0x80 = 0x1D (wraps the modulus).
+  EXPECT_EQ(Gf256::Mul(2, 0x80), 0x1D);
+}
+
+TEST(Gf256Test, MultiplicationCommutativeAssociative) {
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint8_t a = static_cast<uint8_t>(rng.NextBelow(256));
+    uint8_t b = static_cast<uint8_t>(rng.NextBelow(256));
+    uint8_t c = static_cast<uint8_t>(rng.NextBelow(256));
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+    EXPECT_EQ(Gf256::Mul(Gf256::Mul(a, b), c), Gf256::Mul(a, Gf256::Mul(b, c)));
+    // Distributivity over XOR.
+    EXPECT_EQ(Gf256::Mul(a, Gf256::Add(b, c)),
+              Gf256::Add(Gf256::Mul(a, b), Gf256::Mul(a, c)));
+  }
+}
+
+TEST(Gf256Test, EveryNonzeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = Gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+    EXPECT_EQ(Gf256::Div(1, static_cast<uint8_t>(a)), inv);
+  }
+}
+
+TEST(Gf256Test, DivisionInvertsMultiplication) {
+  Rng rng(2);
+  for (int trial = 0; trial < 2000; ++trial) {
+    uint8_t a = static_cast<uint8_t>(rng.NextBelow(256));
+    uint8_t b = static_cast<uint8_t>(1 + rng.NextBelow(255));
+    EXPECT_EQ(Gf256::Div(Gf256::Mul(a, b), b), a);
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  for (uint8_t base : {uint8_t{2}, uint8_t{3}, uint8_t{0x53}}) {
+    uint8_t acc = 1;
+    for (unsigned n = 0; n < 300; ++n) {
+      EXPECT_EQ(Gf256::Pow(base, n), acc) << "base=" << int(base) << " n=" << n;
+      acc = Gf256::Mul(acc, base);
+    }
+  }
+}
+
+TEST(Gf256Test, GeneratorHasFullOrder) {
+  // 2 generates the multiplicative group: 2^255 = 1, 2^k != 1 for 0<k<255.
+  for (unsigned k = 1; k < 255; ++k) EXPECT_NE(Gf256::Pow(2, k), 1);
+  EXPECT_EQ(Gf256::Pow(2, 255), 1);
+}
+
+TEST(Gf256Test, MulAddRowMatchesScalarLoop) {
+  Rng rng(3);
+  for (uint8_t c : {uint8_t{0}, uint8_t{1}, uint8_t{0x35}, uint8_t{0xFF}}) {
+    Bytes in(257), out(257), expected(257);
+    for (size_t i = 0; i < in.size(); ++i) {
+      in[i] = static_cast<uint8_t>(rng.NextBelow(256));
+      out[i] = static_cast<uint8_t>(rng.NextBelow(256));
+      expected[i] = Gf256::Add(out[i], Gf256::Mul(c, in[i]));
+    }
+    Gf256::MulAddRow(c, in.data(), out.data(), in.size());
+    EXPECT_EQ(out, expected) << "c=" << int(c);
+  }
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(GfMatrixTest, IdentityMultiplication) {
+  GfMatrix m(3, 3);
+  uint8_t vals[3][3] = {{1, 2, 3}, {4, 5, 6}, {7, 8, 10}};
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) m.Set(r, c, vals[r][c]);
+  GfMatrix id = GfMatrix::Identity(3);
+  EXPECT_EQ(m.Multiply(id), m);
+  EXPECT_EQ(id.Multiply(m), m);
+}
+
+TEST(GfMatrixTest, InverseTimesSelfIsIdentity) {
+  Rng rng(4);
+  for (int n : {1, 2, 3, 5, 8, 13}) {
+    // Random matrices over GF(256) are almost surely invertible; retry on
+    // the rare singular draw.
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      GfMatrix m(n, n);
+      for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+          m.Set(r, c, static_cast<uint8_t>(rng.NextBelow(256)));
+      auto inv = m.Invert();
+      if (!inv.ok()) continue;
+      EXPECT_EQ(m.Multiply(*inv), GfMatrix::Identity(n)) << "n=" << n;
+      EXPECT_EQ(inv->Multiply(m), GfMatrix::Identity(n)) << "n=" << n;
+      break;
+    }
+  }
+}
+
+TEST(GfMatrixTest, SingularMatrixRejected) {
+  GfMatrix m(2, 2);  // Two identical rows.
+  m.Set(0, 0, 3);
+  m.Set(0, 1, 5);
+  m.Set(1, 0, 3);
+  m.Set(1, 1, 5);
+  EXPECT_TRUE(m.Invert().status().IsCorruption());
+}
+
+TEST(GfMatrixTest, NonSquareInvertRejected) {
+  GfMatrix m(2, 3);
+  EXPECT_FALSE(m.Invert().ok());
+}
+
+TEST(GfMatrixTest, SubRowsSelects) {
+  GfMatrix m(4, 2);
+  for (int r = 0; r < 4; ++r)
+    for (int c = 0; c < 2; ++c) m.Set(r, c, static_cast<uint8_t>(10 * r + c));
+  GfMatrix sub = m.SubRows({3, 1});
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_EQ(sub.At(0, 0), 30);
+  EXPECT_EQ(sub.At(1, 1), 11);
+}
+
+// ---------------------------------------------------------------- Reed-Solomon
+
+Bytes RandomMessage(Rng& rng, size_t len) {
+  Bytes msg(len);
+  for (auto& b : msg) b = static_cast<uint8_t>(rng.NextBelow(256));
+  return msg;
+}
+
+TEST(ReedSolomonTest, CreateValidation) {
+  EXPECT_FALSE(ReedSolomon::Create(0, 2).ok());
+  EXPECT_FALSE(ReedSolomon::Create(3, -1).ok());
+  EXPECT_FALSE(ReedSolomon::Create(200, 100).ok());
+  EXPECT_TRUE(ReedSolomon::Create(200, 55).ok());
+  EXPECT_TRUE(ReedSolomon::Create(1, 0).ok());
+}
+
+TEST(ReedSolomonTest, EncodeDecodeNoLoss) {
+  Rng rng(5);
+  auto rs = ReedSolomon::Create(4, 2);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, 1000);
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 6u);
+  std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+  auto decoded = rs->DecodeMessage(present);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, RecoversFromAnyParityCountErasures) {
+  Rng rng(6);
+  auto rs = ReedSolomon::Create(5, 3);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, 333);
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+
+  // Erase every possible set of 3 shards out of 8.
+  int n = rs->n_total();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (int c = b + 1; c < n; ++c) {
+        std::vector<std::optional<Bytes>> present(shards->begin(),
+                                                  shards->end());
+        present[a].reset();
+        present[b].reset();
+        present[c].reset();
+        auto decoded = rs->DecodeMessage(present);
+        ASSERT_TRUE(decoded.ok()) << a << "," << b << "," << c;
+        EXPECT_EQ(*decoded, msg);
+      }
+    }
+  }
+}
+
+TEST(ReedSolomonTest, TooFewShardsIsUnavailable) {
+  Rng rng(7);
+  auto rs = ReedSolomon::Create(4, 2);
+  ASSERT_TRUE(rs.ok());
+  auto shards = rs->EncodeMessage(RandomMessage(rng, 100));
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+  present[0].reset();
+  present[2].reset();
+  present[4].reset();
+  EXPECT_TRUE(rs->DecodeMessage(present).status().IsUnavailable());
+}
+
+TEST(ReedSolomonTest, CorruptedShardYieldsWrongMessage) {
+  // The paper's Section IV-C premise: RS itself cannot detect corruption —
+  // rebuilding from a tampered chunk silently yields a different entry
+  // (caught upstream by the PBFT certificate check).
+  Rng rng(8);
+  auto rs = ReedSolomon::Create(4, 3);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, 256);
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+  (*present[1])[7] ^= 0x01;
+  // Drop three parity shards so the corrupted data shard must be used.
+  present[4].reset();
+  present[5].reset();
+  present[6].reset();
+  auto decoded = rs->DecodeMessage(present);
+  if (decoded.ok()) {
+    EXPECT_NE(*decoded, msg);
+  }
+}
+
+TEST(ReedSolomonTest, EmptyMessageRoundTrips) {
+  auto rs = ReedSolomon::Create(3, 2);
+  ASSERT_TRUE(rs.ok());
+  auto shards = rs->EncodeMessage({});
+  ASSERT_TRUE(shards.ok());
+  std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+  present[0].reset();
+  present[1].reset();
+  auto decoded = rs->DecodeMessage(present);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ReedSolomonTest, ShardSizeForMatchesEncode) {
+  auto rs = ReedSolomon::Create(13, 15);  // The paper's 4x7 case study split.
+  ASSERT_TRUE(rs.ok());
+  Bytes msg(54321, 0xAB);
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ((*shards)[0].size(), rs->ShardSizeFor(msg.size()));
+}
+
+TEST(ReedSolomonTest, ParityOnlyConfigZeroParity) {
+  Rng rng(9);
+  auto rs = ReedSolomon::Create(4, 0);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, 64);
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+  EXPECT_EQ(shards->size(), 4u);
+  std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+  auto decoded = rs->DecodeMessage(present);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(ReedSolomonTest, MismatchedShardSizesRejected) {
+  auto rs = ReedSolomon::Create(2, 1);
+  ASSERT_TRUE(rs.ok());
+  std::vector<Bytes> data = {Bytes(10, 1), Bytes(11, 2)};
+  EXPECT_FALSE(rs->EncodeParity(data).ok());
+}
+
+/// Property sweep: random (n_data, n_parity, message size, erasure set)
+/// combinations always reconstruct, including the paper's 28-chunk plan.
+class RsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RsPropertyTest, RandomErasuresAlwaysRecoverable) {
+  auto [n_data, n_parity, msg_len] = GetParam();
+  Rng rng(static_cast<uint64_t>(n_data * 1000 + n_parity * 10 + msg_len));
+  auto rs = ReedSolomon::Create(n_data, n_parity);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, static_cast<size_t>(msg_len));
+  auto shards = rs->EncodeMessage(msg);
+  ASSERT_TRUE(shards.ok());
+
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::optional<Bytes>> present(shards->begin(), shards->end());
+    // Erase exactly n_parity random shards.
+    int erased = 0;
+    while (erased < n_parity) {
+      size_t victim = rng.NextBelow(present.size());
+      if (present[victim].has_value()) {
+        present[victim].reset();
+        ++erased;
+      }
+    }
+    auto decoded = rs->DecodeMessage(present);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, RsPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 100), std::make_tuple(2, 2, 57),
+                      std::make_tuple(13, 15, 5000),  // paper 4x7 case study
+                      std::make_tuple(7, 3, 1),       // tiny message
+                      std::make_tuple(10, 30, 4096),
+                      std::make_tuple(40, 20, 2048),  // Fig 13a largest group
+                      std::make_tuple(100, 55, 999)));
+
+}  // namespace
+}  // namespace massbft

@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "ordering/round_ordering.h"
+#include "ordering/vts_ordering.h"
+
+namespace massbft {
+namespace {
+
+using Executed = std::vector<std::pair<uint16_t, uint64_t>>;
+
+/// Test double wiring an ordering engine to an availability set.
+struct VtsHarness {
+  explicit VtsHarness(int num_groups)
+      : engine(num_groups,
+               VtsOrderingEngine::Callbacks{
+                   [this](uint16_t g, uint64_t s) {
+                     return available.count({g, s}) > 0;
+                   },
+                   [this](uint16_t g, uint64_t s) {
+                     executed.push_back({g, s});
+                   }}) {}
+
+  void MakeAvailable(uint16_t g, uint64_t s) {
+    available.insert({g, s});
+    engine.Poke();
+  }
+
+  std::set<std::pair<uint16_t, uint64_t>> available;
+  Executed executed;
+  VtsOrderingEngine engine;
+};
+
+TEST(VtsOrderingTest, SingleGroupExecutesInSequence) {
+  VtsHarness h(1);
+  h.MakeAvailable(0, 0);
+  h.MakeAvailable(0, 1);
+  h.MakeAvailable(0, 2);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}, {0, 1}, {0, 2}}));
+}
+
+TEST(VtsOrderingTest, WaitsForTimestampsBeforeExecuting) {
+  VtsHarness h(2);
+  h.MakeAvailable(0, 0);
+  // Entry (0,0) has vts[0]=0 set; vts[1] unknown. Head (1,0) has vts[1]=0.
+  // Prec((0,0),(1,0)) needs vts[0]... head(1,0).vts[0] inferred 0 == own 0,
+  // undecidable until group 1 stamps.
+  EXPECT_TRUE(h.executed.empty());
+  // Group 1 stamps (0,0) with its clock value 0: now (0,0).vts = <0,0> all
+  // set; head (1,0) virtual has vts <inf0, 0>: tie broken... (0,0) vs
+  // virtual (1,0): equal VTS requires both set; (1,0).vts[0] inferred, so
+  // comparison gives false both ways until group 0's clock advances —
+  // except the identical-vts tie-break needs set bits. Stamp and check the
+  // engine does NOT prematurely execute.
+  h.engine.OnTimestamp(1, 0, 0, 0);
+  // (0,0): vts = <0(set), 0(set)>. Virtual (1,0): vts = <0(inferred),
+  // 0(set)>. Prec((0,0),(1,0)): j=0: e1 set, 0 == 0 but e2.set[0] false ->
+  // return false. Correctly blocked.
+  EXPECT_TRUE(h.executed.empty());
+  // Group 0 stamps an entry of group 1 with ts=1 (its clock advanced past
+  // 0): all heads' unset element-0 lower bounds rise to 1, so now
+  // (0,0).vts[0]=0 < (1,0).vts[0]>=1 -> (0,0) precedes everything.
+  h.engine.OnTimestamp(0, 1, 0, 1);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}}));
+}
+
+TEST(VtsOrderingTest, FastGroupNotBlockedBySlowGroup) {
+  // The Fig 2 / Fig 6 scenario: group 0 proposes twice as fast; its
+  // entries execute as soon as the slow group's clock assignments arrive,
+  // without waiting for the slow group's own entries.
+  VtsHarness h(2);
+  for (uint64_t s = 0; s < 4; ++s) h.MakeAvailable(0, s);
+  // Group 1 (slow) stamps group 0's entries with an advancing clock; group
+  // 0 stamps nothing of group 1 (group 1 proposed nothing), but its own
+  // clock advances via commits; group 1's head (1,0) element-0 bound rises
+  // as group 0's entries are stamped by group 0 itself... Feed ts events:
+  for (uint64_t s = 0; s < 4; ++s) {
+    h.engine.OnTimestamp(1, 0, s, s);      // Slow group's assignments.
+    h.engine.OnTimestamp(0, 0, s, s + 1);  // Own-group observation: raises
+                                           // head(1,0).vts[0] bound.
+  }
+  // All four fast-group entries executed; none of the slow group's.
+  EXPECT_EQ(h.executed.size(), 4u);
+  for (auto& [g, s] : h.executed) EXPECT_EQ(g, 0);
+}
+
+TEST(VtsOrderingTest, ExecutionBlockedUntilPayloadAvailable) {
+  VtsHarness h(2);
+  // Make ordering decidable but payload unavailable.
+  h.engine.OnTimestamp(1, 0, 0, 0);
+  h.engine.OnTimestamp(0, 1, 0, 5);
+  EXPECT_TRUE(h.executed.empty());
+  h.MakeAvailable(0, 0);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}}));
+}
+
+TEST(VtsOrderingTest, TieBrokenBySeqThenGid) {
+  // Two entries with identical fully-set VTS <1,1,1>: the smaller (seq,
+  // gid) executes first (paper Lemma V.4 example e_{2,5} vs e_{3,4}).
+  VtsHarness h(3);
+  // Heads: (0,0),(1,0),(2,0) — all seq 0. Give all of them full VTS <0,0,0>
+  // by cross-stamping with ts=0, then the tie-break (seq equal) uses gid.
+  for (uint64_t seq : {0, 1})
+    for (int assigner = 0; assigner < 3; ++assigner)
+      for (int target = 0; target < 3; ++target)
+        if (assigner != target)
+          h.engine.OnTimestamp(assigner, target, seq, seq);
+  for (uint64_t seq : {0, 1}) {
+    h.MakeAvailable(0, seq);
+    h.MakeAvailable(1, seq);
+    h.MakeAvailable(2, seq);
+  }
+  // The tail entry may stay blocked pending future timestamps (inference
+  // cannot decide against a virtual head), but the tie-broken prefix is
+  // fixed: identical VTSs execute in (seq, gid) order.
+  ASSERT_GE(h.executed.size(), 5u);
+  EXPECT_EQ(h.executed[0], (std::pair<uint16_t, uint64_t>{0, 0}));
+  EXPECT_EQ(h.executed[1], (std::pair<uint16_t, uint64_t>{1, 0}));
+  EXPECT_EQ(h.executed[2], (std::pair<uint16_t, uint64_t>{2, 0}));
+  EXPECT_EQ(h.executed[3], (std::pair<uint16_t, uint64_t>{0, 1}));
+  EXPECT_EQ(h.executed[4], (std::pair<uint16_t, uint64_t>{1, 1}));
+}
+
+TEST(VtsOrderingTest, MonotonicPerGroup) {
+  // Lemma V.5: entries of one group always execute in sequence order.
+  VtsHarness h(2);
+  Rng rng(7);
+  for (uint64_t s = 0; s < 20; ++s) {
+    h.MakeAvailable(0, s);
+    h.MakeAvailable(1, s);
+  }
+  // Random but per-assigner-monotone stamping.
+  uint64_t clk0 = 0, clk1 = 0;
+  for (uint64_t s = 0; s < 20; ++s) {
+    h.engine.OnTimestamp(0, 1, s, ++clk0);
+    h.engine.OnTimestamp(1, 0, s, ++clk1);
+  }
+  std::map<uint16_t, uint64_t> next;
+  for (auto& [g, s] : h.executed) {
+    EXPECT_EQ(s, next[g]) << "group " << g;
+    next[g] = s + 1;
+  }
+  EXPECT_GE(h.executed.size(), 30u);
+}
+
+/// Agreement property: two engines fed the same timestamp events in
+/// different (valid) orders execute identical sequences.
+class VtsAgreementTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VtsAgreementTest, PermutedDeliveryYieldsSameOrder) {
+  const int kGroups = 3;
+  const uint64_t kEntries = 12;
+
+  // Build a ground-truth event set simulating per-group clocks:
+  // group g's entry s gets stamped by every other group j with a clock
+  // value that is non-decreasing in j's stamping order.
+  struct Event {
+    uint16_t assigner, target;
+    uint64_t seq, ts;
+  };
+  std::vector<Event> events;
+  Rng gen(GetParam());
+  // Interleave proposals randomly, then stamp in that interleaved order.
+  std::vector<std::pair<uint16_t, uint64_t>> proposals;
+  for (int g = 0; g < kGroups; ++g)
+    for (uint64_t s = 0; s < kEntries; ++s)
+      proposals.push_back({static_cast<uint16_t>(g), s});
+  // Random interleave preserving per-group order.
+  std::vector<std::pair<uint16_t, uint64_t>> order;
+  std::vector<uint64_t> next(kGroups, 0);
+  while (order.size() < proposals.size()) {
+    int g = static_cast<int>(gen.NextBelow(kGroups));
+    if (next[g] < kEntries) order.push_back({static_cast<uint16_t>(g), next[g]++});
+  }
+  std::vector<uint64_t> clk(kGroups, 0);
+  for (auto& [g, s] : order) {
+    for (int j = 0; j < kGroups; ++j) {
+      if (j == g) continue;
+      events.push_back({static_cast<uint16_t>(j), g, s, clk[j]});
+    }
+    clk[g] = s + 1;  // Proposer's clock advances on its own commit.
+  }
+
+  // Deliver to two engines in different permutations that respect
+  // per-assigner order (each group's raft instance delivers its
+  // timestamps in order).
+  auto run = [&](uint64_t seed) {
+    VtsHarness h(kGroups);
+    for (int g = 0; g < kGroups; ++g)
+      for (uint64_t s = 0; s < kEntries; ++s)
+        h.available.insert({static_cast<uint16_t>(g), s});
+    std::vector<size_t> idx(kGroups, 0);
+    // Per-assigner queues.
+    std::vector<std::vector<Event>> queues(kGroups);
+    for (const Event& e : events) queues[e.assigner].push_back(e);
+    Rng perm(seed);
+    size_t remaining = events.size();
+    while (remaining > 0) {
+      int a = static_cast<int>(perm.NextBelow(kGroups));
+      if (idx[a] >= queues[a].size()) continue;
+      const Event& e = queues[a][idx[a]++];
+      h.engine.OnTimestamp(e.assigner, e.target, e.seq, e.ts);
+      --remaining;
+    }
+    h.engine.Poke();
+    return h.executed;
+  };
+
+  Executed a = run(1111);
+  Executed b = run(9999);
+  size_t common = std::min(a.size(), b.size());
+  EXPECT_GT(common, 0u);
+  for (size_t i = 0; i < common; ++i)
+    EXPECT_EQ(a[i], b[i]) << "diverged at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VtsAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 12345));
+
+// --------------------------------------------------------- Round ordering
+
+struct RoundHarness {
+  explicit RoundHarness(int num_groups)
+      : engine(num_groups,
+               RoundOrderingEngine::Callbacks{
+                   [this](uint16_t g, uint64_t s) {
+                     return available.count({g, s}) > 0;
+                   },
+                   [this](uint16_t g, uint64_t s) {
+                     executed.push_back({g, s});
+                   }}) {}
+  void MakeAvailable(uint16_t g, uint64_t s) {
+    available.insert({g, s});
+    engine.Poke();
+  }
+  std::set<std::pair<uint16_t, uint64_t>> available;
+  Executed executed;
+  RoundOrderingEngine engine;
+};
+
+TEST(RoundOrderingTest, RoundWaitsForAllGroups) {
+  RoundHarness h(3);
+  h.MakeAvailable(0, 0);
+  h.MakeAvailable(2, 0);
+  EXPECT_TRUE(h.executed.empty());  // Group 1 missing: the Fig 2 stall.
+  h.MakeAvailable(1, 0);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}, {1, 0}, {2, 0}}));
+}
+
+TEST(RoundOrderingTest, FastGroupLimitedBySlowGroup) {
+  RoundHarness h(2);
+  // Group 0 completes rounds 0..4; group 1 only round 0.
+  for (uint64_t s = 0; s < 5; ++s) h.MakeAvailable(0, s);
+  h.MakeAvailable(1, 0);
+  EXPECT_EQ(h.executed.size(), 2u);  // Only round 0 executed.
+  EXPECT_EQ(h.engine.current_round(), 1u);
+}
+
+TEST(RoundOrderingTest, GidOrderWithinRound) {
+  RoundHarness h(3);
+  h.MakeAvailable(2, 0);
+  h.MakeAvailable(1, 0);
+  h.MakeAvailable(0, 0);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}, {1, 0}, {2, 0}}));
+}
+
+TEST(RoundOrderingTest, ExcludedGroupUnblocksRounds) {
+  RoundHarness h(3);
+  h.MakeAvailable(0, 0);
+  h.MakeAvailable(2, 0);
+  EXPECT_TRUE(h.executed.empty());
+  h.engine.ExcludeGroup(1);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}, {2, 0}}));
+}
+
+TEST(RoundOrderingTest, MultipleRoundsExecuteInOrder) {
+  RoundHarness h(2);
+  for (uint64_t s = 0; s < 3; ++s) {
+    h.MakeAvailable(0, s);
+    h.MakeAvailable(1, s);
+  }
+  EXPECT_EQ(h.executed,
+            (Executed{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {0, 2}, {1, 2}}));
+  EXPECT_EQ(h.engine.executed_count(), 6u);
+}
+
+// --------------------------------------------------------- Epoch ordering
+
+struct EpochHarness {
+  explicit EpochHarness(int num_groups)
+      : engine(num_groups,
+               EpochOrderingEngine::Callbacks{
+                   [this](uint16_t g, uint64_t s) {
+                     return available.count({g, s}) > 0;
+                   },
+                   [this](uint16_t g, uint64_t s) {
+                     executed.push_back({g, s});
+                   }}) {}
+  void MakeAvailable(uint16_t g, uint64_t s) {
+    available.insert({g, s});
+    engine.Poke();
+  }
+  std::set<std::pair<uint16_t, uint64_t>> available;
+  Executed executed;
+  EpochOrderingEngine engine;
+};
+
+TEST(EpochOrderingTest, EpochWaitsForAllMarkers) {
+  EpochHarness h(2);
+  h.MakeAvailable(0, 0);
+  h.MakeAvailable(0, 1);
+  h.MakeAvailable(1, 0);
+  h.engine.OnEpochSealed(0, 0, 0, 2);
+  EXPECT_TRUE(h.executed.empty());  // Group 1's marker missing.
+  h.engine.OnEpochSealed(1, 0, 0, 1);
+  EXPECT_EQ(h.executed, (Executed{{0, 0}, {0, 1}, {1, 0}}));
+  EXPECT_EQ(h.engine.current_epoch(), 1u);
+}
+
+TEST(EpochOrderingTest, EmptyEpochsAdvance) {
+  EpochHarness h(2);
+  h.engine.OnEpochSealed(0, 0, 0, 0);
+  h.engine.OnEpochSealed(1, 0, 0, 0);
+  EXPECT_EQ(h.engine.current_epoch(), 1u);
+  EXPECT_TRUE(h.executed.empty());
+}
+
+TEST(EpochOrderingTest, EpochBlockedOnUnavailableEntry) {
+  EpochHarness h(2);
+  h.MakeAvailable(0, 0);
+  h.engine.OnEpochSealed(0, 0, 0, 1);
+  h.engine.OnEpochSealed(1, 0, 0, 1);
+  EXPECT_TRUE(h.executed.empty());  // (1,0) not yet replicated.
+  h.MakeAvailable(1, 0);
+  EXPECT_EQ(h.executed.size(), 2u);
+}
+
+TEST(EpochOrderingTest, ConsecutiveEpochsCarrySequenceRanges) {
+  EpochHarness h(1);
+  for (uint64_t s = 0; s < 5; ++s) h.MakeAvailable(0, s);
+  h.engine.OnEpochSealed(0, 0, 0, 2);
+  EXPECT_EQ(h.executed.size(), 2u);
+  h.engine.OnEpochSealed(0, 1, 2, 3);
+  EXPECT_EQ(h.executed.size(), 5u);
+  EXPECT_EQ(h.executed.back(), (std::pair<uint16_t, uint64_t>{0, 4}));
+}
+
+}  // namespace
+}  // namespace massbft

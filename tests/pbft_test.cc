@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "consensus/pbft/certifier.h"
+#include "consensus/pbft/pbft.h"
+#include "crypto/signature.h"
+#include "proto/entry.h"
+
+namespace massbft {
+namespace {
+
+/// In-memory LAN bus for one group: queued FIFO delivery, droppable nodes,
+/// plus simple virtual timers.
+class GroupBus {
+ public:
+  explicit GroupBus(int n) : n_(n) {
+    for (int i = 0; i < n; ++i)
+      registry.RegisterNode(NodeId{0, static_cast<uint16_t>(i)});
+  }
+
+  using Handler = std::function<void(NodeId from, const MessagePtr&)>;
+
+  void Register(int index, Handler handler) {
+    handlers_[index] = std::move(handler);
+  }
+  void Drop(int index) { dropped_.insert(index); }
+  /// Drops one directed link (partial connectivity scenarios).
+  void DropLink(int from, int to) { dropped_links_.insert({from, to}); }
+
+  void Broadcast(int from, MessagePtr msg) {
+    for (int i = 0; i < n_; ++i)
+      if (i != from) Send(from, i, msg);
+  }
+  void Send(int from, int to, MessagePtr msg) {
+    if (dropped_.count(from) > 0 || dropped_.count(to) > 0) return;
+    if (dropped_links_.count({from, to}) > 0) return;
+    queue_.push_back({from, to, std::move(msg)});
+  }
+  void ScheduleTimer(int64_t delay, std::function<void()> fn) {
+    timers_.push_back({now_ + delay, std::move(fn)});
+  }
+
+  /// Drains the message queue (not timers).
+  void Deliver() {
+    while (!queue_.empty()) {
+      auto [from, to, msg] = std::move(queue_.front());
+      queue_.pop_front();
+      if (dropped_.count(to) > 0) continue;
+      handlers_[to](NodeId{0, static_cast<uint16_t>(from)}, msg);
+    }
+  }
+
+  /// Advances virtual time, firing due timers, then drains messages.
+  void AdvanceTime(int64_t delta) {
+    now_ += delta;
+    auto due = std::move(timers_);
+    timers_.clear();
+    for (auto& [at, fn] : due) {
+      if (at <= now_) {
+        fn();
+      } else {
+        timers_.push_back({at, std::move(fn)});
+      }
+    }
+    Deliver();
+  }
+
+  KeyRegistry registry;
+
+ private:
+  struct Queued {
+    int from;
+    int to;
+    MessagePtr msg;
+  };
+  int n_;
+  std::map<int, Handler> handlers_;
+  std::set<int> dropped_;
+  std::set<std::pair<int, int>> dropped_links_;
+  std::deque<Queued> queue_;
+  std::vector<std::pair<int64_t, std::function<void()>>> timers_;
+  int64_t now_ = 0;
+};
+
+struct PbftNode {
+  PbftNode(GroupBus* bus, int index, int n, bool instant_validation = true) {
+    NodeId self{0, static_cast<uint16_t>(index)};
+    PbftEngine::Callbacks cb;
+    cb.broadcast = [bus, index](MessagePtr m) {
+      bus->Broadcast(index, std::move(m));
+    };
+    cb.send_to = [bus, index](NodeId dst, MessagePtr m) {
+      bus->Send(index, dst.index, std::move(m));
+    };
+    cb.sign = [bus, self](const Bytes& payload) {
+      return bus->registry.Sign(self, payload);
+    };
+    cb.verify = [bus](NodeId node, const Bytes& payload,
+                      const Signature& sig) {
+      return bus->registry.Verify(node, payload, sig);
+    };
+    cb.validate_entry = [this, instant_validation](
+                            EntryPtr entry, std::function<void(bool)> done) {
+      if (instant_validation) {
+        done(true);
+      } else {
+        pending_validations.push_back(std::move(done));
+      }
+      (void)entry;
+    };
+    cb.after = [bus](SimTime delay, std::function<void()> fn) {
+      bus->ScheduleTimer(delay, std::move(fn));
+    };
+    cb.on_committed = [this](EntryPtr entry, Certificate cert) {
+      committed.push_back({entry, cert});
+    };
+    engine = std::make_unique<PbftEngine>(0, self, n, std::move(cb));
+  }
+
+  std::unique_ptr<PbftEngine> engine;
+  std::vector<std::pair<EntryPtr, Certificate>> committed;
+  std::vector<std::function<void(bool)>> pending_validations;
+};
+
+EntryPtr MakeEntry(uint64_t seq, int payload = 100) {
+  return std::make_shared<const Entry>(
+      0, seq,
+      std::vector<Transaction>{
+          Transaction{seq, 1, 0, Bytes(static_cast<size_t>(payload), 0x11)}});
+}
+
+class PbftFixture : public ::testing::Test {
+ protected:
+  void Init(int n) {
+    bus_ = std::make_unique<GroupBus>(n);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<PbftNode>(bus_.get(), i, n));
+      PbftNode* node = nodes_.back().get();
+      bus_->Register(i, [node](NodeId from, const MessagePtr& m) {
+        node->engine->OnMessage(from, m);
+      });
+    }
+  }
+
+  std::unique_ptr<GroupBus> bus_;
+  std::vector<std::unique_ptr<PbftNode>> nodes_;
+};
+
+TEST_F(PbftFixture, AllCorrectNodesCommit) {
+  Init(4);
+  EntryPtr entry = MakeEntry(0);
+  nodes_[0]->engine->Propose(entry);
+  bus_->Deliver();
+  for (auto& node : nodes_) {
+    ASSERT_EQ(node->committed.size(), 1u);
+    EXPECT_EQ(node->committed[0].first->digest(), entry->digest());
+  }
+}
+
+TEST_F(PbftFixture, CertificateHasQuorumAndVerifies) {
+  Init(7);  // f = 2, quorum 5.
+  EntryPtr entry = MakeEntry(0);
+  nodes_[0]->engine->Propose(entry);
+  bus_->Deliver();
+  ASSERT_FALSE(nodes_[3]->committed.empty());
+  const Certificate& cert = nodes_[3]->committed[0].second;
+  EXPECT_EQ(static_cast<int>(cert.sigs.size()), 5);
+  EXPECT_TRUE(cert.Verify(bus_->registry, 5));
+  EXPECT_EQ(cert.digest, entry->digest());
+}
+
+TEST_F(PbftFixture, PipelinedProposalsCommitAll) {
+  Init(4);
+  for (uint64_t s = 0; s < 10; ++s)
+    nodes_[0]->engine->Propose(MakeEntry(s));
+  bus_->Deliver();
+  for (auto& node : nodes_) EXPECT_EQ(node->committed.size(), 10u);
+  EXPECT_EQ(nodes_[0]->engine->committed_count(), 10u);
+}
+
+TEST_F(PbftFixture, CommitsDespiteFSilentFollowers) {
+  Init(4);  // f = 1.
+  bus_->Drop(3);
+  nodes_[0]->engine->Propose(MakeEntry(0));
+  bus_->Deliver();
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(nodes_[i]->committed.size(), 1u) << "node " << i;
+}
+
+TEST_F(PbftFixture, StallsWithMoreThanFFailures) {
+  Init(4);
+  bus_->Drop(2);
+  bus_->Drop(3);
+  nodes_[0]->engine->Propose(MakeEntry(0));
+  bus_->Deliver();
+  for (auto& node : nodes_) EXPECT_TRUE(node->committed.empty());
+}
+
+TEST_F(PbftFixture, NonLeaderCannotPrePrepare) {
+  Init(4);
+  // A Byzantine follower forging a pre-prepare is ignored: votes never
+  // form because correct nodes reject non-leader pre-prepares.
+  EntryPtr entry = MakeEntry(0);
+  Signature sig = bus_->registry.Sign(NodeId{0, 2}, Bytes{1, 2, 3});
+  auto forged = std::make_shared<PrePrepareMsg>(0, 0, entry, sig);
+  bus_->Broadcast(2, forged);
+  bus_->Deliver();
+  for (auto& node : nodes_) EXPECT_TRUE(node->committed.empty());
+}
+
+TEST_F(PbftFixture, BadSignatureVotesIgnored) {
+  Init(4);
+  EntryPtr entry = MakeEntry(0);
+  // Garbage commit votes should not help reach quorum.
+  for (int from = 1; from < 4; ++from) {
+    auto vote = std::make_shared<PbftVoteMsg>(
+        MessageType::kCommit, 0, 0, entry->digest(), Signature{});
+    bus_->Send(from, 0, vote);
+  }
+  bus_->Deliver();
+  EXPECT_TRUE(nodes_[0]->committed.empty());
+}
+
+TEST_F(PbftFixture, ViewChangeElectsNextLeaderAndReproposes) {
+  Init(4);
+  for (auto& node : nodes_)
+    node->engine->set_view_change_timeout(100);
+  // Partially-connected faulty leader: its pre-prepare reaches nodes 1 and
+  // 2 but not 3, and the leader then contributes nothing further. Nodes
+  // 1+2 reach the 2f+1 prepare quorum (pre-prepare counts as the leader's
+  // vote) but the commit quorum stalls at 2 of 3 — the classic stuck
+  // instance that view change must resolve.
+  bus_->DropLink(0, 3);
+  nodes_[0]->engine->Propose(MakeEntry(0));
+  bus_->Drop(0);  // Leader contributes nothing beyond the pre-prepare.
+  bus_->Deliver();
+  EXPECT_TRUE(nodes_[1]->committed.empty());
+
+  bus_->AdvanceTime(150);  // Followers' timers fire; view-change votes flow.
+  bus_->AdvanceTime(150);  // Echo amplification + NEW-VIEW + re-propose.
+  bus_->AdvanceTime(150);
+  EXPECT_GE(nodes_[1]->engine->view(), 1u);
+  EXPECT_EQ(nodes_[1]->engine->leader_index(),
+            static_cast<int>(nodes_[1]->engine->view() % 4));
+  // The new leader re-proposed the unfinished entry; correct nodes commit.
+  EXPECT_GE(nodes_[1]->committed.size(), 1u);
+  EXPECT_GE(nodes_[2]->committed.size(), 1u);
+  EXPECT_GE(nodes_[3]->committed.size(), 1u);
+}
+
+TEST_F(PbftFixture, ValidationGateBlocksPrepare) {
+  // Followers only vote after entry validation completes (per-transaction
+  // signature checks in the real node).
+  bus_ = std::make_unique<GroupBus>(4);
+  for (int i = 0; i < 4; ++i) {
+    nodes_.push_back(std::make_unique<PbftNode>(
+        bus_.get(), i, 4, /*instant_validation=*/i == 0));
+    PbftNode* node = nodes_.back().get();
+    bus_->Register(i, [node](NodeId from, const MessagePtr& m) {
+      node->engine->OnMessage(from, m);
+    });
+  }
+  nodes_[0]->engine->Propose(MakeEntry(0));
+  bus_->Deliver();
+  EXPECT_TRUE(nodes_[1]->committed.empty());
+  // Release validations.
+  for (int i = 1; i < 4; ++i) {
+    for (auto& done : nodes_[i]->pending_validations) done(true);
+    nodes_[i]->pending_validations.clear();
+  }
+  bus_->Deliver();
+  for (auto& node : nodes_) EXPECT_EQ(node->committed.size(), 1u);
+}
+
+// -------------------------------------------------------- DigestCertifier
+
+struct CertifierNode {
+  CertifierNode(GroupBus* bus, int index, int n) {
+    NodeId self{0, static_cast<uint16_t>(index)};
+    DigestCertifier::Callbacks cb;
+    cb.broadcast = [bus, index](MessagePtr m) {
+      bus->Broadcast(index, std::move(m));
+    };
+    cb.send_to = [bus, index](NodeId dst, MessagePtr m) {
+      bus->Send(index, dst.index, std::move(m));
+    };
+    cb.sign = [bus, self](const Bytes& payload) {
+      return bus->registry.Sign(self, payload);
+    };
+    cb.verify = [bus](NodeId node, const Bytes& payload,
+                      const Signature& sig) {
+      return bus->registry.Verify(node, payload, sig);
+    };
+    cb.can_sign = [this](const DecisionId&) { return can_sign; };
+    cb.on_certified = [this](const DecisionId& decision, Certificate cert) {
+      certified.push_back({decision, std::move(cert)});
+    };
+    certifier = std::make_unique<DigestCertifier>(0, self, n, std::move(cb));
+  }
+
+  std::unique_ptr<DigestCertifier> certifier;
+  bool can_sign = true;
+  std::vector<std::pair<DecisionId, Certificate>> certified;
+};
+
+class CertifierFixture : public ::testing::Test {
+ protected:
+  void Init(int n) {
+    bus_ = std::make_unique<GroupBus>(n);
+    for (int i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<CertifierNode>(bus_.get(), i, n));
+      CertifierNode* node = nodes_.back().get();
+      bus_->Register(i, [node](NodeId from, const MessagePtr& m) {
+        node->certifier->OnMessage(from, m);
+      });
+    }
+  }
+
+  DecisionId Decision() {
+    return DecisionId{DigestCertifier::kAccept, 0, 1, 7, 42};
+  }
+
+  std::unique_ptr<GroupBus> bus_;
+  std::vector<std::unique_ptr<CertifierNode>> nodes_;
+};
+
+TEST_F(CertifierFixture, CertifiesWithQuorum) {
+  Init(4);
+  nodes_[0]->certifier->Start(Decision());
+  bus_->Deliver();
+  ASSERT_EQ(nodes_[0]->certified.size(), 1u);
+  const Certificate& cert = nodes_[0]->certified[0].second;
+  EXPECT_EQ(static_cast<int>(cert.sigs.size()), 3);
+  Digest digest = DigestCertifier::DecisionDigest(Decision());
+  EXPECT_EQ(cert.digest, digest);
+  EXPECT_TRUE(cert.Verify(bus_->registry, 3));
+}
+
+TEST_F(CertifierFixture, DeferredVotesFlowAfterRecheck) {
+  Init(4);
+  // Followers refuse (entry payload missing, Lemma V.1 gate).
+  for (int i = 1; i < 4; ++i) nodes_[i]->can_sign = false;
+  nodes_[0]->certifier->Start(Decision());
+  bus_->Deliver();
+  EXPECT_TRUE(nodes_[0]->certified.empty());
+  // Payload arrives on followers.
+  for (int i = 1; i < 4; ++i) {
+    nodes_[i]->can_sign = true;
+    nodes_[i]->certifier->RecheckPending();
+  }
+  bus_->Deliver();
+  EXPECT_EQ(nodes_[0]->certified.size(), 1u);
+}
+
+TEST_F(CertifierFixture, DistinctDecisionsDistinctDigests) {
+  DecisionId a{DigestCertifier::kAccept, 0, 1, 7, 42};
+  DecisionId b{DigestCertifier::kAccept, 0, 1, 7, 43};
+  DecisionId c{DigestCertifier::kCommitDecision, 0, 1, 7, 42};
+  EXPECT_NE(DigestCertifier::DecisionDigest(a),
+            DigestCertifier::DecisionDigest(b));
+  EXPECT_NE(DigestCertifier::DecisionDigest(a),
+            DigestCertifier::DecisionDigest(c));
+}
+
+TEST_F(CertifierFixture, ToleratesFSilentNodes) {
+  Init(7);  // f=2, quorum 5.
+  bus_->Drop(5);
+  bus_->Drop(6);
+  nodes_[0]->certifier->Start(Decision());
+  bus_->Deliver();
+  EXPECT_EQ(nodes_[0]->certified.size(), 1u);
+}
+
+TEST_F(CertifierFixture, DuplicateStartIdempotent) {
+  Init(4);
+  nodes_[0]->certifier->Start(Decision());
+  nodes_[0]->certifier->Start(Decision());
+  bus_->Deliver();
+  EXPECT_EQ(nodes_[0]->certified.size(), 1u);
+}
+
+}  // namespace
+}  // namespace massbft

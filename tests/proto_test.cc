@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "crypto/signature.h"
+#include "proto/entry.h"
+#include "proto/messages.h"
+
+namespace massbft {
+namespace {
+
+Transaction MakeTxn(uint64_t id, size_t payload_size = 100) {
+  Transaction txn;
+  txn.id = id;
+  txn.client = static_cast<uint32_t>(id * 7);
+  txn.submit_time = static_cast<SimTime>(id * 1000);
+  txn.payload.assign(payload_size, static_cast<uint8_t>(id));
+  return txn;
+}
+
+TEST(TransactionTest, EncodeDecodeRoundTrip) {
+  Transaction txn = MakeTxn(42, 201);
+  BinaryWriter w;
+  txn.EncodeTo(&w);
+  BinaryReader r(w.buffer());
+  auto decoded = Transaction::DecodeFrom(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, txn);
+}
+
+TEST(EntryTest, EncodeDecodeRoundTrip) {
+  std::vector<Transaction> txns = {MakeTxn(1), MakeTxn(2), MakeTxn(3)};
+  Entry entry(2, 17, txns);
+  auto decoded = Entry::Decode(entry.Encoded());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)->gid(), 2);
+  EXPECT_EQ((*decoded)->seq(), 17u);
+  EXPECT_EQ((*decoded)->txns(), txns);
+  EXPECT_EQ((*decoded)->digest(), entry.digest());
+}
+
+TEST(EntryTest, EmptyEntryRoundTrips) {
+  Entry entry(0, 0, {});
+  auto decoded = Entry::Decode(entry.Encoded());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)->num_txns(), 0);
+}
+
+TEST(EntryTest, DigestBindsContent) {
+  Entry a(0, 1, {MakeTxn(1)});
+  Entry b(0, 1, {MakeTxn(2)});
+  Entry c(0, 2, {MakeTxn(1)});
+  Entry d(1, 1, {MakeTxn(1)});
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_NE(a.digest(), d.digest());
+}
+
+TEST(EntryTest, TamperedBytesRejectedOrDifferentDigest) {
+  Entry entry(1, 5, {MakeTxn(9)});
+  Bytes tampered = entry.Encoded();
+  tampered[tampered.size() / 2] ^= 0xFF;
+  auto decoded = Entry::Decode(tampered);
+  // Either structurally invalid, or decodes to a different digest — never
+  // silently equal.
+  if (decoded.ok()) {
+    EXPECT_NE((*decoded)->digest(), entry.digest());
+  }
+}
+
+TEST(EntryTest, TruncatedBytesRejected) {
+  Entry entry(1, 5, {MakeTxn(9), MakeTxn(10)});
+  Bytes truncated(entry.Encoded().begin(), entry.Encoded().end() - 5);
+  EXPECT_FALSE(Entry::Decode(truncated).ok());
+}
+
+TEST(EntryTest, ByteSizeIsEncodedSize) {
+  Entry entry(0, 3, {MakeTxn(1, 201), MakeTxn(2, 201)});
+  EXPECT_EQ(entry.ByteSize(), entry.Encoded().size());
+  // Two 201-byte payloads plus per-txn headers plus the entry header.
+  EXPECT_GT(entry.ByteSize(), 2 * 201u);
+  EXPECT_LT(entry.ByteSize(), 2 * 201u + 100u);
+}
+
+// ---------------------------------------------------------- Certificate
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 7; ++i)
+      registry_.RegisterNode(NodeId{1, static_cast<uint16_t>(i)});
+  }
+
+  Certificate MakeCert(const Digest& digest, int num_sigs) {
+    Certificate cert;
+    cert.gid = 1;
+    cert.digest = digest;
+    Bytes payload(digest.begin(), digest.end());
+    for (int i = 0; i < num_sigs; ++i) {
+      NodeId node{1, static_cast<uint16_t>(i)};
+      cert.sigs.emplace_back(node, registry_.Sign(node, payload));
+    }
+    return cert;
+  }
+
+  KeyRegistry registry_;
+  Digest digest_ = Sha256::Hash("entry payload");
+};
+
+TEST_F(CertificateTest, QuorumVerifies) {
+  Certificate cert = MakeCert(digest_, 5);
+  EXPECT_TRUE(cert.Verify(registry_, 5));
+  EXPECT_TRUE(cert.Verify(registry_, 3));
+}
+
+TEST_F(CertificateTest, InsufficientSignaturesFail) {
+  Certificate cert = MakeCert(digest_, 4);
+  EXPECT_FALSE(cert.Verify(registry_, 5));
+}
+
+TEST_F(CertificateTest, DuplicateSignersNotDoubleCounted) {
+  Certificate cert = MakeCert(digest_, 3);
+  cert.sigs.push_back(cert.sigs[0]);
+  cert.sigs.push_back(cert.sigs[0]);
+  EXPECT_FALSE(cert.Verify(registry_, 5));
+}
+
+TEST_F(CertificateTest, ForeignSignerInvalidatesCert) {
+  registry_.RegisterNode(NodeId{2, 0});
+  Certificate cert = MakeCert(digest_, 5);
+  Bytes payload(digest_.begin(), digest_.end());
+  cert.sigs.emplace_back(NodeId{2, 0},
+                         registry_.Sign(NodeId{2, 0}, payload));
+  EXPECT_FALSE(cert.Verify(registry_, 5));
+}
+
+TEST_F(CertificateTest, WrongDigestSignaturesFail) {
+  Certificate cert = MakeCert(digest_, 5);
+  cert.digest = Sha256::Hash("different payload");
+  EXPECT_FALSE(cert.Verify(registry_, 5));
+}
+
+TEST_F(CertificateTest, EncodeDecodeRoundTrip) {
+  Certificate cert = MakeCert(digest_, 5);
+  BinaryWriter w;
+  cert.EncodeTo(&w);
+  EXPECT_EQ(w.size(), cert.ByteSize());
+  BinaryReader r(w.buffer());
+  auto decoded = Certificate::DecodeFrom(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->gid, cert.gid);
+  EXPECT_EQ(decoded->digest, cert.digest);
+  ASSERT_EQ(decoded->sigs.size(), cert.sigs.size());
+  EXPECT_TRUE(decoded->Verify(registry_, 5));
+}
+
+// ---------------------------------------------------------- Message sizes
+
+TEST(MessageSizeTest, EnvelopeAddedToEveryMessage) {
+  ClientReplyMsg reply(1, true);
+  EXPECT_EQ(reply.ByteSize(), kEnvelopeBytes + 9);
+  GroupHeartbeatMsg hb(1, 100);
+  EXPECT_EQ(hb.ByteSize(), kEnvelopeBytes + 10);
+}
+
+TEST(MessageSizeTest, EntryTransferCarriesEntryAndCert) {
+  auto entry = std::make_shared<const Entry>(
+      0, 1, std::vector<Transaction>{MakeTxn(1, 201)});
+  Certificate cert;
+  cert.sigs.resize(5);
+  EntryTransferMsg msg(entry, cert);
+  EXPECT_EQ(msg.ByteSize(),
+            kEnvelopeBytes + entry->ByteSize() + cert.ByteSize());
+}
+
+TEST(MessageSizeTest, ChunkBatchAccountsChunksProofsAndCert) {
+  Chunk chunk;
+  chunk.chunk_id = 3;
+  chunk.data.assign(1000, 7);
+  chunk.proof.index = 3;
+  chunk.proof.leaf_count = 28;
+  chunk.proof.path.resize(5);
+  Certificate cert;
+  cert.sigs.resize(5);
+  ChunkBatchMsg msg(0, 1, Digest{}, cert, {chunk}, 13000);
+  size_t expected = kEnvelopeBytes + 2 + 8 + 32 + 8 + cert.ByteSize() +
+                    (4 + 2 + 1000 + chunk.proof.ByteSize());
+  EXPECT_EQ(msg.ByteSize(), expected);
+}
+
+TEST(MessageSizeTest, SignatureWireSizeMatchesEd25519) {
+  // The substituted scheme must not change message sizes (DESIGN.md §2).
+  PbftVoteMsg vote(MessageType::kPrepare, 0, 0, Digest{}, Signature{});
+  EXPECT_EQ(vote.ByteSize(), kEnvelopeBytes + 8 + 8 + 32 + 64);
+}
+
+TEST(MessageSizeTest, TimestampPiggybackCounted) {
+  Certificate cert;
+  RaftProposeMsg bare(0, 1, Digest{}, cert, {});
+  RaftProposeMsg with_ts(0, 1, Digest{}, cert,
+                         {TimestampElement{0, 1, 2, 3},
+                          TimestampElement{1, 1, 2, 4}});
+  EXPECT_EQ(with_ts.ByteSize(),
+            bare.ByteSize() + 2 * TimestampElement::kByteSize);
+}
+
+}  // namespace
+}  // namespace massbft
