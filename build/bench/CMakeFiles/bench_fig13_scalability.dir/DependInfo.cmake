@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig13_scalability.cc" "bench/CMakeFiles/bench_fig13_scalability.dir/bench_fig13_scalability.cc.o" "gcc" "bench/CMakeFiles/bench_fig13_scalability.dir/bench_fig13_scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/massbft_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/massbft_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/massbft_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ordering/CMakeFiles/massbft_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/massbft_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/ec/CMakeFiles/massbft_ec.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/massbft_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/massbft_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/massbft_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/massbft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/massbft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/massbft_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_nationwide.dir/bench_fig8_nationwide.cc.o"
+  "CMakeFiles/bench_fig8_nationwide.dir/bench_fig8_nationwide.cc.o.d"
+  "bench_fig8_nationwide"
+  "bench_fig8_nationwide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_nationwide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_worldwide.dir/bench_fig9_worldwide.cc.o"
+  "CMakeFiles/bench_fig9_worldwide.dir/bench_fig9_worldwide.cc.o.d"
+  "bench_fig9_worldwide"
+  "bench_fig9_worldwide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_worldwide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/massbft_bench_util.dir/bench_util.cc.o.d"
+  "libmassbft_bench_util.a"
+  "libmassbft_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coded_replication_demo.dir/coded_replication_demo.cpp.o"
+  "CMakeFiles/coded_replication_demo.dir/coded_replication_demo.cpp.o.d"
+  "coded_replication_demo"
+  "coded_replication_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coded_replication_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

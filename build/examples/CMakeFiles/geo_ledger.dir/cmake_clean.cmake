@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_ledger.dir/geo_ledger.cpp.o"
+  "CMakeFiles/geo_ledger.dir/geo_ledger.cpp.o.d"
+  "geo_ledger"
+  "geo_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_common.dir/bytes.cc.o"
+  "CMakeFiles/massbft_common.dir/bytes.cc.o.d"
+  "CMakeFiles/massbft_common.dir/logging.cc.o"
+  "CMakeFiles/massbft_common.dir/logging.cc.o.d"
+  "CMakeFiles/massbft_common.dir/status.cc.o"
+  "CMakeFiles/massbft_common.dir/status.cc.o.d"
+  "CMakeFiles/massbft_common.dir/zipf.cc.o"
+  "CMakeFiles/massbft_common.dir/zipf.cc.o.d"
+  "libmassbft_common.a"
+  "libmassbft_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

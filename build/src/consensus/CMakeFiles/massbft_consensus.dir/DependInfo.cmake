@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/pbft/certifier.cc" "src/consensus/CMakeFiles/massbft_consensus.dir/pbft/certifier.cc.o" "gcc" "src/consensus/CMakeFiles/massbft_consensus.dir/pbft/certifier.cc.o.d"
+  "/root/repo/src/consensus/pbft/pbft.cc" "src/consensus/CMakeFiles/massbft_consensus.dir/pbft/pbft.cc.o" "gcc" "src/consensus/CMakeFiles/massbft_consensus.dir/pbft/pbft.cc.o.d"
+  "/root/repo/src/consensus/raft/raft.cc" "src/consensus/CMakeFiles/massbft_consensus.dir/raft/raft.cc.o" "gcc" "src/consensus/CMakeFiles/massbft_consensus.dir/raft/raft.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/massbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/massbft_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/massbft_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/massbft_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_consensus.dir/pbft/certifier.cc.o"
+  "CMakeFiles/massbft_consensus.dir/pbft/certifier.cc.o.d"
+  "CMakeFiles/massbft_consensus.dir/pbft/pbft.cc.o"
+  "CMakeFiles/massbft_consensus.dir/pbft/pbft.cc.o.d"
+  "CMakeFiles/massbft_consensus.dir/raft/raft.cc.o"
+  "CMakeFiles/massbft_consensus.dir/raft/raft.cc.o.d"
+  "libmassbft_consensus.a"
+  "libmassbft_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_core.dir/config.cc.o"
+  "CMakeFiles/massbft_core.dir/config.cc.o.d"
+  "CMakeFiles/massbft_core.dir/experiment.cc.o"
+  "CMakeFiles/massbft_core.dir/experiment.cc.o.d"
+  "CMakeFiles/massbft_core.dir/group_node.cc.o"
+  "CMakeFiles/massbft_core.dir/group_node.cc.o.d"
+  "libmassbft_core.a"
+  "libmassbft_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_crypto.dir/hmac.cc.o"
+  "CMakeFiles/massbft_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/massbft_crypto.dir/merkle.cc.o"
+  "CMakeFiles/massbft_crypto.dir/merkle.cc.o.d"
+  "CMakeFiles/massbft_crypto.dir/sha256.cc.o"
+  "CMakeFiles/massbft_crypto.dir/sha256.cc.o.d"
+  "CMakeFiles/massbft_crypto.dir/signature.cc.o"
+  "CMakeFiles/massbft_crypto.dir/signature.cc.o.d"
+  "libmassbft_crypto.a"
+  "libmassbft_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/aria.cc" "src/db/CMakeFiles/massbft_db.dir/aria.cc.o" "gcc" "src/db/CMakeFiles/massbft_db.dir/aria.cc.o.d"
+  "/root/repo/src/db/kv_store.cc" "src/db/CMakeFiles/massbft_db.dir/kv_store.cc.o" "gcc" "src/db/CMakeFiles/massbft_db.dir/kv_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/massbft_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/massbft_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/massbft_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/massbft_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_db.dir/aria.cc.o"
+  "CMakeFiles/massbft_db.dir/aria.cc.o.d"
+  "CMakeFiles/massbft_db.dir/kv_store.cc.o"
+  "CMakeFiles/massbft_db.dir/kv_store.cc.o.d"
+  "libmassbft_db.a"
+  "libmassbft_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmassbft_db.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_ec.dir/gf256.cc.o"
+  "CMakeFiles/massbft_ec.dir/gf256.cc.o.d"
+  "CMakeFiles/massbft_ec.dir/matrix.cc.o"
+  "CMakeFiles/massbft_ec.dir/matrix.cc.o.d"
+  "CMakeFiles/massbft_ec.dir/reed_solomon.cc.o"
+  "CMakeFiles/massbft_ec.dir/reed_solomon.cc.o.d"
+  "libmassbft_ec.a"
+  "libmassbft_ec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_ec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_ordering.dir/round_ordering.cc.o"
+  "CMakeFiles/massbft_ordering.dir/round_ordering.cc.o.d"
+  "CMakeFiles/massbft_ordering.dir/vts_ordering.cc.o"
+  "CMakeFiles/massbft_ordering.dir/vts_ordering.cc.o.d"
+  "libmassbft_ordering.a"
+  "libmassbft_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_proto.dir/entry.cc.o"
+  "CMakeFiles/massbft_proto.dir/entry.cc.o.d"
+  "libmassbft_proto.a"
+  "libmassbft_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_replication.dir/encoder.cc.o"
+  "CMakeFiles/massbft_replication.dir/encoder.cc.o.d"
+  "CMakeFiles/massbft_replication.dir/rebuilder.cc.o"
+  "CMakeFiles/massbft_replication.dir/rebuilder.cc.o.d"
+  "CMakeFiles/massbft_replication.dir/transfer_plan.cc.o"
+  "CMakeFiles/massbft_replication.dir/transfer_plan.cc.o.d"
+  "libmassbft_replication.a"
+  "libmassbft_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_sim.dir/metrics.cc.o"
+  "CMakeFiles/massbft_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/massbft_sim.dir/network.cc.o"
+  "CMakeFiles/massbft_sim.dir/network.cc.o.d"
+  "CMakeFiles/massbft_sim.dir/simulator.cc.o"
+  "CMakeFiles/massbft_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/massbft_sim.dir/topology.cc.o"
+  "CMakeFiles/massbft_sim.dir/topology.cc.o.d"
+  "libmassbft_sim.a"
+  "libmassbft_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/massbft_workload.dir/smallbank.cc.o"
+  "CMakeFiles/massbft_workload.dir/smallbank.cc.o.d"
+  "CMakeFiles/massbft_workload.dir/tpcc.cc.o"
+  "CMakeFiles/massbft_workload.dir/tpcc.cc.o.d"
+  "CMakeFiles/massbft_workload.dir/workload.cc.o"
+  "CMakeFiles/massbft_workload.dir/workload.cc.o.d"
+  "CMakeFiles/massbft_workload.dir/ycsb.cc.o"
+  "CMakeFiles/massbft_workload.dir/ycsb.cc.o.d"
+  "libmassbft_workload.a"
+  "libmassbft_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/massbft_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for massbft_workload.
+# This may be replaced when dependencies are built.
