@@ -58,5 +58,18 @@ int main(int argc, char** argv) {
                 "global replication span.\ncoding overhead (encode+rebuild): "
                 "%.2f ms (paper: ~2.3 ms)\n",
                 encode + rebuild);
+
+  // Cross-check: the span-derived breakdown should reconstruct the
+  // end-to-end commit latency (client RTT and scheduling slack are the
+  // only unmodeled terms). Encode and rebuild overlap the global span and
+  // are excluded from the sum.
+  double deviation_pct =
+      run.mean_latency_ms > 0
+          ? 100.0 * (total - encode - run.mean_latency_ms) /
+                run.mean_latency_ms
+          : 0;
+  std::printf("breakdown sum %.1f ms vs end-to-end mean %.1f ms "
+              "(%+.1f%% deviation)\n",
+              total - encode, run.mean_latency_ms, deviation_pct);
   return 0;
 }

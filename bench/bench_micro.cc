@@ -9,8 +9,10 @@
 #include <optional>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/zipf.h"
+#include "core/experiment.h"
 #include "crypto/hmac.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
@@ -173,6 +175,30 @@ void BM_AriaBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AriaBatch)->Arg(37)->Arg(270);
+
+// -------------------------------------------------------- Observability
+
+// Whole-simulation cost of trace recording: Arg(0) runs a short MassBFT
+// experiment with tracing off, Arg(1) with tracing on. The acceptance bar
+// is <2% wall-clock overhead between the two.
+void BM_ExperimentTracing(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.topology = TopologyConfig::Nationwide(2, 4);
+    config.protocol = ProtocolConfig::MassBft();
+    config.workload = WorkloadKind::kYcsbA;
+    config.workload_scale = 0.01;
+    config.clients_per_group = 50;
+    config.duration = kSecond;
+    config.warmup = kSecond / 4;
+    config.enable_tracing = state.range(0) != 0;
+    Experiment experiment(std::move(config));
+    MASSBFT_CHECK(experiment.Setup().ok());
+    benchmark::DoNotOptimize(experiment.Run());
+  }
+}
+BENCHMARK(BM_ExperimentTracing)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace massbft

@@ -2,11 +2,24 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "common/logging.h"
+#include "obs/json_writer.h"
 
 namespace massbft {
 namespace bench {
+
+namespace {
+BenchOptions g_options;
+/// JSON objects of every run so far (--json rewrites the file per run, so
+/// a killed bench still leaves a valid array behind).
+std::vector<std::string> g_json_runs;
+}  // namespace
+
+const BenchOptions& GlobalOptions() { return g_options; }
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions opts;
@@ -14,7 +27,12 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     if (std::strcmp(argv[i], "--csv") == 0) opts.csv = true;
     if (std::strcmp(argv[i], "--fast") == 0) opts.fast = true;
     if (std::strcmp(argv[i], "--full") == 0) opts.fast = false;
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) opts.trace_file = argv[i] + 8;
+    if (std::strcmp(argv[i], "--json") == 0) opts.json_file = "bench_results.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) opts.json_file = argv[i] + 7;
   }
+  g_options = opts;
+  g_json_runs.clear();
   return opts;
 }
 
@@ -26,10 +44,31 @@ SimTime WarmupDuration(const BenchOptions& opts) {
 }
 
 ExperimentResult RunOnce(ExperimentConfig config) {
+  if (!g_options.trace_file.empty()) config.enable_tracing = true;
   Experiment experiment(std::move(config));
   Status status = experiment.Setup();
   MASSBFT_CHECK(status.ok());
-  return experiment.Run();
+  ExperimentResult result = experiment.Run();
+
+  if (!g_options.trace_file.empty()) {
+    Status written = experiment.WriteTrace(g_options.trace_file);
+    if (!written.ok()) {
+      MASSBFT_LOG(kWarn) << "trace export failed: " << written.ToString();
+    }
+  }
+  if (!g_options.json_file.empty()) {
+    std::ostringstream metrics_json;
+    obs::JsonWriter metrics_writer(metrics_json);
+    experiment.telemetry().registry().WriteJson(metrics_writer);
+    g_json_runs.push_back("{\"result\":" + result.ToJson() +
+                          ",\"metrics\":" + metrics_json.str() + "}");
+    std::ofstream out(g_options.json_file, std::ios::trunc);
+    out << "[\n";
+    for (size_t i = 0; i < g_json_runs.size(); ++i)
+      out << g_json_runs[i] << (i + 1 < g_json_runs.size() ? ",\n" : "\n");
+    out << "]\n";
+  }
+  return result;
 }
 
 OperatingPoint FindKnee(ExperimentConfig base,

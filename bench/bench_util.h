@@ -18,9 +18,20 @@ namespace bench {
 struct BenchOptions {
   bool csv = false;
   bool fast = true;  // Cleared by --full.
+  /// --trace=FILE: record protocol traces and write a Chrome trace-event
+  /// JSON file (chrome://tracing / Perfetto). With several runs in one
+  /// bench, the last run's trace wins.
+  std::string trace_file;
+  /// --json[=FILE]: append each run's result + metrics registry to a JSON
+  /// array file (default bench_results.json), rewritten after every run.
+  std::string json_file;
 
   static BenchOptions Parse(int argc, char** argv);
 };
+
+/// The options from the latest Parse() call (RunOnce consults these so
+/// every bench gets --trace/--json without plumbing).
+const BenchOptions& GlobalOptions();
 
 /// Duration/warmup presets scaled by --fast.
 SimTime RunDuration(const BenchOptions& opts);

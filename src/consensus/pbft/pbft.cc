@@ -12,6 +12,24 @@ PbftEngine::PbftEngine(uint16_t gid, NodeId self, int group_size,
     : gid_(gid), self_(self), n_(group_size), f_((group_size - 1) / 3),
       cb_(std::move(callbacks)) {
   MASSBFT_CHECK(self.group == gid);
+  if (cb_.telemetry != nullptr) {
+    obs::MetricsRegistry& registry = cb_.telemetry->registry();
+    prepare_hist_ = registry.GetHistogram("pbft/prepare_ms");
+    commit_hist_ = registry.GetHistogram("pbft/commit_ms");
+    view_change_counter_ = registry.GetCounter("pbft/view_changes");
+  }
+}
+
+void PbftEngine::ObservePhase(const char* name, obs::Histogram* hist,
+                              SimTime start, SimTime end, uint64_t seq) {
+  if (hist == nullptr || start < 0) return;
+  hist->Record(SimToSeconds(end - start) * 1e3);
+  obs::TraceRecorder& trace = cb_.telemetry->trace();
+  if (trace.enabled()) {
+    trace.RecordSpan(cb_.trace_track, "pbft", name, start, end,
+                     obs::TraceArgs{{{"gid", static_cast<double>(gid_)},
+                                     {"seq", static_cast<double>(seq)}}});
+  }
 }
 
 Bytes PbftEngine::VotePayload(uint64_t view, uint64_t seq,
@@ -38,6 +56,7 @@ uint64_t PbftEngine::Propose(EntryPtr entry) {
   inst.entry = entry;
   inst.digest = entry->digest();
   inst.digest_known = true;
+  if (cb_.now) inst.started_at = cb_.now();
   inst.validated = true;  // The leader built the batch; it has verified
                           // client signatures on ingest.
   Signature sig =
@@ -92,6 +111,7 @@ void PbftEngine::OnPrePrepare(NodeId from, const PrePrepareMsg& msg) {
   inst.entry = msg.entry();
   inst.digest = digest;
   inst.digest_known = true;
+  if (cb_.now) inst.started_at = cb_.now();
   // The pre-prepare stands in for the leader's prepare vote (classic PBFT
   // counts it toward the 2f+1 prepare quorum).
   inst.prepares.emplace(from.index, msg.sig());
@@ -140,6 +160,11 @@ void PbftEngine::MaybePrepare(uint64_t seq) {
       static_cast<int>(inst.prepares.size()) < quorum())
     return;
   inst.prepared = true;
+  if (cb_.now) {
+    inst.prepared_at = cb_.now();
+    ObservePhase("prepare", prepare_hist_, inst.started_at, inst.prepared_at,
+                 seq);
+  }
   Signature own =
       cb_.sign(VotePayload(view_, seq, inst.digest, MessageType::kCommit));
   inst.commits[self_.index] = own;
@@ -155,6 +180,8 @@ void PbftEngine::MaybeCommit(uint64_t seq) {
     return;
   inst.committed = true;
   ++committed_count_;
+  if (cb_.now)
+    ObservePhase("commit", commit_hist_, inst.prepared_at, cb_.now(), seq);
 
   Certificate cert;
   cert.gid = gid_;
@@ -213,6 +240,7 @@ void PbftEngine::EnterView(uint64_t new_view) {
   if (new_view <= view_) return;
   view_ = new_view;
   view_change_votes_.clear();
+  if (view_change_counter_ != nullptr) view_change_counter_->Add();
 
   // Collect uncommitted proposals; the new leader re-proposes them.
   std::vector<EntryPtr> unfinished;

@@ -11,6 +11,7 @@
 #include "common/bytes.h"
 #include "crypto/sha256.h"
 #include "crypto/signature.h"
+#include "obs/telemetry.h"
 #include "proto/entry.h"
 #include "proto/messages.h"
 #include "sim/network.h"
@@ -54,6 +55,15 @@ class PbftEngine {
     std::function<void(EntryPtr, Certificate)> on_committed;
     /// Fired when this node enters a new view (after NEW-VIEW).
     std::function<void(uint64_t new_view, NodeId new_leader)> on_view_change;
+    /// Current sim time (optional; enables the per-instance phase
+    /// observability below).
+    std::function<SimTime()> now;
+    /// Observability sink (optional). With `now` set, each instance
+    /// reports prepare/commit phase durations into the registry
+    /// ("pbft/prepare_ms", "pbft/commit_ms") and — when tracing — emits
+    /// spans on `trace_track`.
+    obs::Telemetry* telemetry = nullptr;
+    uint32_t trace_track = 0;
   };
 
   PbftEngine(uint16_t gid, NodeId self, int group_size, Callbacks callbacks);
@@ -95,6 +105,9 @@ class PbftEngine {
     std::map<uint16_t, Signature> prepares;
     std::map<uint16_t, Signature> commits;
     bool timer_armed = false;
+    // Observability timestamps (set only when Callbacks::now is wired).
+    SimTime started_at = -1;
+    SimTime prepared_at = -1;
   };
 
   Bytes VotePayload(uint64_t view, uint64_t seq, const Digest& digest,
@@ -109,6 +122,10 @@ class PbftEngine {
   void ArmViewChangeTimer(uint64_t seq);
   void OnViewChangeVote(NodeId from, const ViewChangeMsg& msg);
   void EnterView(uint64_t new_view);
+  /// Records one PBFT sub-phase into the registry histogram and (when
+  /// tracing) the trace. No-op unless observability is wired.
+  void ObservePhase(const char* name, obs::Histogram* hist, SimTime start,
+                    SimTime end, uint64_t seq);
 
   uint16_t gid_;
   NodeId self_;
@@ -123,6 +140,11 @@ class PbftEngine {
   std::map<uint64_t, Instance> instances_;
   // View-change votes for each proposed new view.
   std::map<uint64_t, std::set<uint16_t>> view_change_votes_;
+
+  // Pre-resolved observability handles (null when not wired).
+  obs::Histogram* prepare_hist_ = nullptr;
+  obs::Histogram* commit_hist_ = nullptr;
+  obs::Counter* view_change_counter_ = nullptr;
 };
 
 }  // namespace massbft

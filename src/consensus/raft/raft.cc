@@ -9,7 +9,13 @@ namespace massbft {
 
 RaftCoordinator::RaftCoordinator(int num_groups, int my_group,
                                  Callbacks callbacks)
-    : num_groups_(num_groups), my_group_(my_group), cb_(std::move(callbacks)) {}
+    : num_groups_(num_groups), my_group_(my_group), cb_(std::move(callbacks)) {
+  if (cb_.telemetry != nullptr) {
+    commit_hist_ = cb_.telemetry->registry().GetHistogram(
+        "raft/global_commit_ms");
+    commit_counter_ = cb_.telemetry->registry().GetCounter("raft/commits");
+  }
+}
 
 void RaftCoordinator::Propose(uint16_t gid, uint64_t seq, const Digest& digest,
                               const Certificate& cert, uint16_t origin_gid,
@@ -18,6 +24,7 @@ void RaftCoordinator::Propose(uint16_t gid, uint64_t seq, const Digest& digest,
   InstanceEntry& e = inst.log[seq];
   e.digest = digest;
   e.proposed = true;
+  if (cb_.now && e.proposed_at < 0) e.proposed_at = cb_.now();
   e.accept_groups.insert(static_cast<uint16_t>(my_group_));
 
   auto msg = std::make_shared<RaftProposeMsg>(
@@ -171,6 +178,21 @@ void RaftCoordinator::MarkCommitted(uint16_t gid, uint64_t seq) {
   InstanceEntry& e = inst.log[seq];
   if (e.committed) return;
   e.committed = true;
+  if (commit_counter_ != nullptr) {
+    commit_counter_->Add();
+    // Proposer side only: followers never set proposed_at.
+    if (cb_.now && e.proposed_at >= 0) {
+      SimTime now = cb_.now();
+      commit_hist_->Record(SimToSeconds(now - e.proposed_at) * 1e3);
+      obs::TraceRecorder& trace = cb_.telemetry->trace();
+      if (trace.enabled()) {
+        trace.RecordSpan(cb_.trace_track, "raft", "global_commit",
+                         e.proposed_at, now,
+                         obs::TraceArgs{{{"gid", static_cast<double>(gid)},
+                                         {"seq", static_cast<double>(seq)}}});
+      }
+    }
+  }
   MaybeDeliverCommits(gid);
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "crypto/sha256.h"
+#include "obs/telemetry.h"
 #include "proto/entry.h"
 #include "proto/messages.h"
 #include "sim/time.h"
@@ -53,6 +54,14 @@ class RaftCoordinator {
     std::function<void(uint16_t target_gid, uint64_t target_seq,
                        uint16_t from_group, uint64_t ts)>
         on_accept_observed;
+    /// Current sim time (optional; enables the observability below).
+    std::function<SimTime()> now;
+    /// Observability sink (optional). With `now` set, proposer-side
+    /// entries report propose -> global-commit durations into
+    /// "raft/global_commit_ms" and — when tracing — spans on
+    /// `trace_track`.
+    obs::Telemetry* telemetry = nullptr;
+    uint32_t trace_track = 0;
   };
 
   RaftCoordinator(int num_groups, int my_group, Callbacks callbacks);
@@ -113,6 +122,7 @@ class RaftCoordinator {
     /// Our accept receipt, cached so a re-propose after the proposer
     /// recovers from a crash can be answered again.
     MessagePtr cached_accept;
+    SimTime proposed_at = -1;  // Proposer side, for observability.
   };
   struct Instance {
     std::map<uint64_t, InstanceEntry> log;
@@ -129,6 +139,9 @@ class RaftCoordinator {
   Callbacks cb_;
   std::map<uint16_t, Instance> instances_;
   std::set<uint16_t> taken_over_;
+  // Pre-resolved observability handles (null when not wired).
+  obs::Histogram* commit_hist_ = nullptr;
+  obs::Counter* commit_counter_ = nullptr;
 };
 
 }  // namespace massbft

@@ -2,21 +2,68 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/json_writer.h"
 
 namespace massbft {
 
 std::string ExperimentResult::Summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "%.1f ktps, latency mean %.1f ms (p50 %.1f, p99 %.1f), "
-                "batch %.0f, aborts %llu",
+                "batch %.0f, conflict aborts %llu, aborted txns %llu",
                 throughput_tps / 1000.0, mean_latency_ms, p50_latency_ms,
                 p99_latency_ms, avg_batch_size,
-                static_cast<unsigned long long>(conflict_aborts));
+                static_cast<unsigned long long>(conflict_aborts),
+                static_cast<unsigned long long>(aborted_txns));
   return buf;
+}
+
+std::string ExperimentResult::ToJson() const {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Member("throughput_tps", throughput_tps);
+  w.Member("mean_latency_ms", mean_latency_ms);
+  w.Member("p50_latency_ms", p50_latency_ms);
+  w.Member("p99_latency_ms", p99_latency_ms);
+  w.Member("committed_txns", committed_txns);
+  w.Member("aborted_txns", aborted_txns);
+  w.Member("conflict_aborts", conflict_aborts);
+  w.Member("avg_batch_size", avg_batch_size);
+  w.Member("total_wan_bytes", total_wan_bytes);
+  w.Member("entries_proposed", entries_proposed);
+  w.Member("wan_bytes_per_entry", wan_bytes_per_entry);
+  w.Member("sim_events", sim_events);
+  w.Key("phases");
+  w.BeginObject();
+  w.Member("batching_ms", phases.batching_ms);
+  w.Member("local_ms", phases.local_ms);
+  w.Member("encode_ms", phases.encode_ms);
+  w.Member("global_ms", phases.global_ms);
+  w.Member("rebuild_ms", phases.rebuild_ms);
+  w.Member("exec_ms", phases.exec_ms);
+  w.Member("entries", phases.entries);
+  w.Member("rebuilds", phases.rebuilds);
+  w.Member("txns", phases.txns);
+  w.Member("conflict_aborts", phases.conflict_aborts);
+  w.Member("batch_size_sum", phases.batch_size_sum);
+  w.EndObject();
+  w.Key("timeline");
+  w.BeginArray();
+  for (const MetricsCollector::TimelinePoint& point : timeline) {
+    w.BeginObject();
+    w.Member("time_s", point.time_s);
+    w.Member("tps", point.tps);
+    w.Member("mean_latency_ms", point.mean_latency_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return out.str();
 }
 
 Experiment::Experiment(ExperimentConfig config) : config_(std::move(config)) {}
@@ -52,6 +99,22 @@ Status Experiment::Setup() {
   ctx_->on_txn_committed = [this](const Transaction& txn, SimTime t) {
     OnTxnCommitted(txn, t);
   };
+  ctx_->telemetry->set_tracing(config_.enable_tracing);
+  for (NodeId id : topology_->AllNodes()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "g%u/n%u",
+                  static_cast<unsigned>(id.group),
+                  static_cast<unsigned>(id.index));
+    ctx_->telemetry->trace().RegisterTrack(obs::Telemetry::NodeTrack(
+                                               id.Packed()),
+                                           name);
+  }
+  for (int g = 0; g < topology_->num_groups(); ++g) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "clients/g%d", g);
+    ctx_->telemetry->trace().RegisterTrack(obs::Telemetry::ClientTrack(g),
+                                           name);
+  }
 
   network_ = std::make_unique<Network>(
       sim_.get(), topology_.get(),
@@ -59,6 +122,7 @@ Status Experiment::Setup() {
         GroupNode* target = node(dst);
         if (target != nullptr) target->HandleMessage(src, std::move(m));
       });
+  network_->set_telemetry(ctx_->telemetry);
 
   // Build nodes; the highest-indexed nodes of each group are the Byzantine
   // ones when fault injection is configured (leaders stay correct, as in
@@ -126,6 +190,12 @@ void Experiment::SubmitNext(size_t client_index) {
   txn.id = (static_cast<uint64_t>(client.id) << 32) | client.next_txn++;
   txn.submit_time = sim_->Now();
   txn.payload = workload_->NextPayload(client.rng);
+  if (ctx_->telemetry->tracing()) {
+    ctx_->telemetry->trace().RecordInstant(
+        obs::Telemetry::ClientTrack(client.group), "client", "submit",
+        txn.submit_time,
+        obs::TraceArgs{{{"client", static_cast<double>(client.id)}}});
+  }
   // Client -> leader half round trip.
   sim_->Schedule(config_.client_rtt / 2, [this, leader, txn = std::move(txn)] {
     if (!leader->crashed()) leader->SubmitClientTxn(txn);
@@ -150,19 +220,55 @@ ExperimentResult Experiment::Run() {
   MASSBFT_CHECK(setup_done_);
   sim_->RunUntil(config_.duration);
 
+  // End-of-run per-link WAN uplink utilization (fraction of the link's
+  // capacity the node's sends consumed over the whole run).
+  obs::Telemetry& telemetry = *ctx_->telemetry;
+  double run_seconds = SimToSeconds(config_.duration);
+  for (NodeId id : topology_->AllNodes()) {
+    double bps = topology_->wan_bps(id);
+    if (bps <= 0 || run_seconds <= 0) continue;
+    char name[48];
+    std::snprintf(name, sizeof(name), "net/wan_uplink_util/g%u/n%u",
+                  static_cast<unsigned>(id.group),
+                  static_cast<unsigned>(id.index));
+    double sent_bits =
+        8.0 * static_cast<double>(network_->StatsFor(id).wan_bytes_sent);
+    telemetry.registry().GetGauge(name)->Set(sent_bits /
+                                             (bps * run_seconds));
+  }
+
+  // The Fig 11 phase breakdown, derived from the spans the nodes recorded
+  // into the registry (batching per transaction; the others per entry).
+  PhaseStats phases;
+  phases.batching_ms = telemetry.phase(obs::Phase::kBatching).sum();
+  phases.local_ms = telemetry.phase(obs::Phase::kLocalConsensus).sum();
+  phases.encode_ms = telemetry.phase(obs::Phase::kEncode).sum();
+  phases.global_ms = telemetry.phase(obs::Phase::kGlobalReplication).sum();
+  phases.rebuild_ms = telemetry.phase(obs::Phase::kRebuild).sum();
+  phases.exec_ms = telemetry.phase(obs::Phase::kExecution).sum();
+  phases.rebuilds = telemetry.phase(obs::Phase::kRebuild).count();
+  phases.batch_size_sum =
+      static_cast<double>(telemetry.phase(obs::Phase::kBatching).count());
+  obs::MetricsRegistry& registry = telemetry.registry();
+  phases.entries = registry.GetCounter("node/entries_batched")->value();
+  phases.txns = registry.GetCounter("exec/txns_executed")->value();
+  phases.conflict_aborts =
+      registry.GetCounter("exec/conflict_aborts")->value();
+
   ExperimentResult result;
   result.throughput_tps = metrics_->ThroughputTps();
   result.mean_latency_ms = metrics_->MeanLatencyMs();
   result.p50_latency_ms = metrics_->P50LatencyMs();
   result.p99_latency_ms = metrics_->P99LatencyMs();
   result.committed_txns = metrics_->committed();
-  result.phases = *ctx_->phases;
-  result.conflict_aborts = ctx_->phases->conflict_aborts;
-  result.entries_proposed = ctx_->phases->entries;
+  result.aborted_txns = metrics_->aborted();
+  result.phases = phases;
+  result.conflict_aborts = phases.conflict_aborts;
+  result.entries_proposed = phases.entries;
   result.avg_batch_size =
       result.entries_proposed == 0
           ? 0
-          : ctx_->phases->batch_size_sum /
+          : phases.batch_size_sum /
                 static_cast<double>(result.entries_proposed);
   result.total_wan_bytes = network_->TotalWanBytesSent();
   result.wan_bytes_per_entry =

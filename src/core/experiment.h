@@ -9,6 +9,7 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "core/group_node.h"
+#include "obs/telemetry.h"
 #include "crypto/signature.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
@@ -51,6 +52,9 @@ struct ExperimentConfig {
   FaultPlan faults;
   /// Execute on every node (agreement tests) instead of leaders only.
   bool execute_on_all_nodes = false;
+  /// Record protocol trace spans (off by default; see Experiment::
+  /// WriteTrace). Metrics counters/histograms are always collected.
+  bool enable_tracing = false;
 };
 
 /// Aggregated outcome of a run.
@@ -60,6 +64,9 @@ struct ExperimentResult {
   double p50_latency_ms = 0;
   double p99_latency_ms = 0;
   uint64_t committed_txns = 0;
+  /// Permanently-aborted (business-abort) transactions: they completed
+  /// deterministically with no effects and were not retried.
+  uint64_t aborted_txns = 0;
   uint64_t conflict_aborts = 0;
   double avg_batch_size = 0;
   uint64_t total_wan_bytes = 0;
@@ -71,6 +78,8 @@ struct ExperimentResult {
   uint64_t sim_events = 0;
 
   std::string Summary() const;
+  /// Machine-readable dump of every field above (one JSON object).
+  std::string ToJson() const;
 };
 
 /// Builds and drives one simulated cluster. Usage:
@@ -87,6 +96,15 @@ class Experiment {
 
   Status Setup();
   ExperimentResult Run();
+
+  // ---- Observability.
+  /// Cluster-wide telemetry (valid after Setup()).
+  obs::Telemetry& telemetry() { return *ctx_->telemetry; }
+  /// Writes the recorded protocol trace as Chrome trace-event JSON
+  /// (requires ExperimentConfig::enable_tracing).
+  Status WriteTrace(const std::string& path) const {
+    return ctx_->telemetry->trace().WriteChromeTraceFile(path);
+  }
 
   // ---- Test hooks.
   Simulator& sim() { return *sim_; }

@@ -27,11 +27,27 @@ GroupNode::GroupNode(Simulator* sim, Network* network, NodeId id,
     : Actor(sim, network, id, config.cpu),
       config_(config),
       ctx_(ctx),
-      fault_(fault) {
+      fault_(fault),
+      tel_(ctx->telemetry),
+      trace_track_(obs::Telemetry::NodeTrack(id.Packed())) {
   ctx_->registry->RegisterNode(id);
+
+  // ---- Observability handles (counters are cheap; the registry is
+  // shared cluster-wide, so counts aggregate across nodes).
+  obs::MetricsRegistry& metrics_registry = tel_->registry();
+  entries_counter_ = metrics_registry.GetCounter("node/entries_batched");
+  txns_exec_counter_ = metrics_registry.GetCounter("exec/txns_executed");
+  conflict_abort_counter_ =
+      metrics_registry.GetCounter("exec/conflict_aborts");
+  logic_abort_counter_ = metrics_registry.GetCounter("exec/logic_aborts");
+  coded_bytes_counter_ =
+      metrics_registry.GetCounter("replication/coded_bytes_sent");
 
   // ---- Local PBFT engine.
   PbftEngine::Callbacks pbft_cb;
+  pbft_cb.now = [this] { return Now(); };
+  pbft_cb.telemetry = tel_;
+  pbft_cb.trace_track = trace_track_;
   pbft_cb.broadcast = [this](MessagePtr m) { BroadcastLan(m); };
   pbft_cb.send_to = [this](NodeId dst, MessagePtr m) { SendLan(dst, m); };
   pbft_cb.sign = [this](const Bytes& payload) { return SignPayload(payload); };
@@ -181,16 +197,26 @@ void GroupNode::TryFormBatch(bool timer_fired) {
     std::vector<Transaction> batch;
     batch.reserve(take);
     SimTime now = Now();
+    obs::Histogram* batching =
+        tel_->phase_histogram(obs::Phase::kBatching);
+    SimTime earliest_submit = now;
     for (int i = 0; i < take; ++i) {
-      ctx_->phases->batching_ms +=
-          SimToSeconds(now - pending_txns_.front().submit_time) * 1e3;
+      SimTime submit = pending_txns_.front().submit_time;
+      earliest_submit = std::min(earliest_submit, submit);
+      batching->Record(SimToSeconds(now - submit) * 1e3);
       batch.push_back(std::move(pending_txns_.front()));
       pending_txns_.pop_front();
     }
-    ctx_->phases->batch_size_sum += take;
-    ctx_->phases->entries += 1;
+    entries_counter_->Add();
 
     uint64_t seq = next_local_seq_++;
+    if (tel_->tracing()) {
+      tel_->trace().RecordSpan(
+          trace_track_, "entry", "batching", earliest_submit, now,
+          obs::TraceArgs{{{"gid", static_cast<double>(my_group())},
+                          {"seq", static_cast<double>(seq)},
+                          {"txns", static_cast<double>(take)}}});
+    }
     auto entry = std::make_shared<const Entry>(
         static_cast<uint16_t>(my_group()), seq, std::move(batch));
     cpu().ChargeHash(entry->ByteSize());  // Entry digest.
@@ -234,8 +260,8 @@ void GroupNode::OnLocalCommitted(EntryPtr entry, Certificate cert) {
   rec.payload_available = true;
   rec.local_committed_at = Now();
   if (rec.created_at >= 0)
-    ctx_->phases->local_ms +=
-        SimToSeconds(Now() - rec.created_at) * 1e3;
+    tel_->RecordPhaseSpan(obs::Phase::kLocalConsensus, trace_track_,
+                          rec.created_at, Now(), entry->gid(), entry->seq());
 
   // Every correct node participates in sending (bijective/encoded modes
   // use followers; one-way modes no-op on followers).
@@ -349,8 +375,12 @@ void GroupNode::SendEncoded(const EntryPtr& entry, const Certificate& cert) {
     SimTime t0 = Now();
     cpu().ChargeEc(coded_bytes);
     SimTime done_at = cpu().ChargeHash(coded_bytes);
+    coded_bytes_counter_->Add(coded_bytes);
+    // One representative receiver group per entry keeps the Fig 11 encode
+    // phase per-entry rather than per (entry, group) pair.
     if (IsGroupLeader() && g == (my_group() + 1) % num_groups())
-      ctx_->phases->encode_ms += SimToSeconds(done_at - t0) * 1e3;
+      tel_->RecordPhaseSpan(obs::Phase::kEncode, trace_track_, t0, done_at,
+                            entry->gid(), entry->seq());
 
     auto encoded = GetEncoded(entry, *plan, tampered);
     // Batch this node's chunks by receiver.
@@ -410,6 +440,7 @@ void GroupNode::OnChunkBatch(NodeId from, const ChunkBatchMsg& msg) {
                           const Digest& entry_digest) {
       return VerifyGroupCert(cert, entry_digest);
     };
+    cfg.telemetry = tel_;
     rec.rebuilder = std::make_unique<EntryRebuilder>(std::move(cfg));
     rec.first_chunk_at = Now();
   }
@@ -424,11 +455,10 @@ void GroupNode::OnChunkBatch(NodeId from, const ChunkBatchMsg& msg) {
       if (cached != ctx_->rebuild_cache.end()) {
         cpu().ChargeEc(msg.entry_size());
         cpu().ChargeHash(msg.entry_size());
-        if (ctx_->phases != nullptr && IsGroupLeader()) {
-          ctx_->phases->rebuild_ms +=
-              SimToSeconds(Now() - rec.first_chunk_at) * 1e3;
-          ctx_->phases->rebuilds += 1;
-        }
+        if (IsGroupLeader())
+          tel_->RecordPhaseSpan(obs::Phase::kRebuild, trace_track_,
+                                rec.first_chunk_at, Now(), key.first,
+                                key.second);
         StorePayload(key, cached->second, msg.cert());
         break;
       }
@@ -439,11 +469,10 @@ void GroupNode::OnChunkBatch(NodeId from, const ChunkBatchMsg& msg) {
         cpu().ChargeEc(msg.entry_size());
         cpu().ChargeHash(msg.entry_size());
         ctx_->rebuild_cache[msg.merkle_root()] = rec.rebuilder->entry();
-        if (ctx_->phases != nullptr && IsGroupLeader()) {
-          ctx_->phases->rebuild_ms +=
-              SimToSeconds(Now() - rec.first_chunk_at) * 1e3;
-          ctx_->phases->rebuilds += 1;
-        }
+        if (IsGroupLeader())
+          tel_->RecordPhaseSpan(obs::Phase::kRebuild, trace_track_,
+                                rec.first_chunk_at, Now(), key.first,
+                                key.second);
         StorePayload(key, rec.rebuilder->entry(), msg.cert());
         break;
       }
@@ -553,6 +582,9 @@ void GroupNode::SetupRaft() {
                                  uint16_t from_group, uint64_t ts) {
     OnAcceptObserved(gid, seq, from_group, ts);
   };
+  cb.now = [this] { return Now(); };
+  cb.telemetry = tel_;
+  cb.trace_track = trace_track_;
   raft_ = std::make_unique<RaftCoordinator>(num_groups(), my_group(),
                                             std::move(cb));
 }
@@ -636,8 +668,9 @@ void GroupNode::OnRaftCommitted(uint16_t gid, uint64_t seq) {
   EntryRecord& rec = GetRecord(key);
   if (rec.local_committed_at >= 0 && key.first == my_group() &&
       !rec.globally_committed)
-    ctx_->phases->global_ms +=
-        SimToSeconds(Now() - rec.local_committed_at) * 1e3;
+    tel_->RecordPhaseSpan(obs::Phase::kGlobalReplication, trace_track_,
+                          rec.local_committed_at, Now(), key.first,
+                          key.second);
   RelayToGroup(RelayEvent{RelayEvent::kCommitted, key.first, key.second, 0, 0});
 
   // Crash takeover: stamp the dead groups' frozen clocks onto this entry
@@ -836,6 +869,11 @@ void GroupNode::SetupOrdering() {
     case OrderingMode::kAsyncVts:
       vts_ordering_ = std::make_unique<VtsOrderingEngine>(
           num_groups(), VtsOrderingEngine::Callbacks{can_execute, execute});
+      // Leader-only: the engine runs on every node, but cluster-wide
+      // counters should count each decision once per group.
+      if (IsGroupLeader())
+        vts_ordering_->set_telemetry(tel_, trace_track_,
+                                     [this] { return Now(); });
       break;
     case OrderingMode::kRoundSync:
       round_ordering_ = std::make_unique<RoundOrderingEngine>(
@@ -879,11 +917,18 @@ void GroupNode::ExecuteEntry(uint16_t gid, uint64_t seq) {
   bool owns_metrics =
       IsGroupLeader() && static_cast<int>(gid) == my_group() && !crashed();
   if (owns_metrics) {
-    ctx_->phases->txns += n;
-    ctx_->phases->conflict_aborts += result.conflict_aborts.size();
+    txns_exec_counter_->Add(n);
+    conflict_abort_counter_->Add(result.conflict_aborts.size());
+    if (result.logic_aborts > 0) {
+      // Business aborts complete deterministically and are never retried
+      // (Aria): they are the run's permanently-aborted transactions.
+      logic_abort_counter_->Add(result.logic_aborts);
+      if (ctx_->metrics != nullptr)
+        ctx_->metrics->RecordAbort(result.logic_aborts);
+    }
     if (rec.global_committed_at >= 0)
-      ctx_->phases->exec_ms +=
-          SimToSeconds(done_at - rec.global_committed_at) * 1e3;
+      tel_->RecordPhaseSpan(obs::Phase::kExecution, trace_track_,
+                            rec.global_committed_at, done_at, gid, seq);
 
     // Conflict-aborted transactions re-enter the next batch
     // deterministically (Aria); committed ones notify their clients.

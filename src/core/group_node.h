@@ -17,6 +17,7 @@
 #include "crypto/signature.h"
 #include "db/aria.h"
 #include "db/kv_store.h"
+#include "obs/telemetry.h"
 #include "ordering/round_ordering.h"
 #include "ordering/vts_ordering.h"
 #include "proto/entry.h"
@@ -33,7 +34,9 @@ namespace massbft {
 
 /// Per-phase latency accumulators for the Fig 11 breakdown, summed over
 /// entries at the proposing group's leader (plus encode/rebuild CPU spans
-/// measured where they happen).
+/// measured where they happen). Derived from the obs registry's phase
+/// histograms and counters after a run (Experiment::Run()); nodes record
+/// through ClusterContext::telemetry, not into this struct.
 struct PhaseStats {
   double batching_ms = 0;     // Txn submit -> batch formed.
   double local_ms = 0;        // Batch formed -> local PBFT committed.
@@ -54,8 +57,11 @@ struct ClusterContext {
   const Topology* topology = nullptr;
   Workload* workload = nullptr;
   MetricsCollector* metrics = nullptr;
-  PhaseStats phases_storage;
-  PhaseStats* phases = &phases_storage;
+  /// Cluster-wide observability: metrics registry + trace recorder. The
+  /// default storage keeps directly-constructed nodes (tests) working;
+  /// Experiment points every layer at the same instance.
+  obs::Telemetry telemetry_storage;
+  obs::Telemetry* telemetry = &telemetry_storage;
 
   /// Client commit notification: fired once per transaction by the
   /// executing leader of the transaction's origin group.
@@ -252,6 +258,15 @@ class GroupNode : public Actor {
   ProtocolConfig config_;
   ClusterContext* ctx_;
   FaultConfig fault_;
+
+  // Observability (pre-resolved at construction; tel_ is never null).
+  obs::Telemetry* tel_;
+  uint32_t trace_track_;
+  obs::Counter* entries_counter_;
+  obs::Counter* txns_exec_counter_;
+  obs::Counter* conflict_abort_counter_;
+  obs::Counter* logic_abort_counter_;
+  obs::Counter* coded_bytes_counter_;
 
   std::unique_ptr<PbftEngine> pbft_;
   std::unique_ptr<DigestCertifier> certifier_;

@@ -1,0 +1,132 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace massbft {
+namespace obs {
+
+void JsonWriter::MaybeComma() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // Value following a key: no comma, the key emitted it.
+  }
+  if (stack_.empty()) return;
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ << ',';
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ << '{';
+  stack_.push_back(Scope::kObject);
+  first_.push_back(true);
+}
+
+void JsonWriter::EndObject() {
+  MASSBFT_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ << '[';
+  stack_.push_back(Scope::kArray);
+  first_.push_back(true);
+}
+
+void JsonWriter::EndArray() {
+  MASSBFT_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  stack_.pop_back();
+  first_.pop_back();
+  out_ << ']';
+}
+
+void JsonWriter::Key(const std::string& key) {
+  MASSBFT_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  MASSBFT_CHECK(!key_pending_);
+  MaybeComma();
+  out_ << '"' << Escape(key) << "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::Value(const std::string& v) {
+  MaybeComma();
+  out_ << '"' << Escape(v) << '"';
+}
+
+void JsonWriter::Value(const char* v) { Value(std::string(v)); }
+
+void JsonWriter::Value(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {
+    out_ << "null";  // JSON has no Inf/NaN.
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+}
+
+void JsonWriter::Value(int64_t v) {
+  MaybeComma();
+  out_ << v;
+}
+
+void JsonWriter::Value(uint64_t v) {
+  MaybeComma();
+  out_ << v;
+}
+
+void JsonWriter::Value(bool v) {
+  MaybeComma();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ << "null";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace massbft

@@ -1,0 +1,65 @@
+#ifndef MASSBFT_OBS_JSON_WRITER_H_
+#define MASSBFT_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace massbft {
+namespace obs {
+
+/// Minimal streaming JSON writer used by the trace and metrics exporters.
+/// Emits syntactically valid JSON (correct quoting/escaping, no trailing
+/// commas); nesting is tracked so keys and values cannot be emitted in an
+/// invalid position. Numbers are written in a locale-independent format
+/// that round-trips through standard parsers.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits the key of the next member (inside an object only).
+  void Key(const std::string& key);
+
+  void Value(const std::string& v);
+  void Value(const char* v);
+  void Value(double v);
+  void Value(int64_t v);
+  void Value(uint64_t v);
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(unsigned v) { Value(static_cast<uint64_t>(v)); }
+  void Value(bool v);
+  void Null();
+
+  // Convenience: Key + Value.
+  template <typename T>
+  void Member(const std::string& key, T&& v) {
+    Key(key);
+    Value(std::forward<T>(v));
+  }
+
+  /// Escapes `s` for inclusion inside a JSON string literal.
+  static std::string Escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void MaybeComma();
+
+  std::ostream& out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> first_;   // Parallel to stack_.
+  bool key_pending_ = false;  // A key was just written; value must follow.
+};
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_JSON_WRITER_H_

@@ -1,0 +1,126 @@
+#ifndef MASSBFT_OBS_METRICS_REGISTRY_H_
+#define MASSBFT_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace massbft {
+namespace obs {
+
+/// Monotonic event count. Handles are plain pointers resolved once at
+/// setup; the hot-path cost is one branch and one add.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (enabled_) value_ += delta;
+  }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  uint64_t value_ = 0;
+  bool enabled_ = true;
+};
+
+/// Last-write-wins sample (utilization ratios, queue depths).
+class Gauge {
+ public:
+  void Set(double v) {
+    if (enabled_) value_ = v;
+  }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  friend class MetricsRegistry;
+  double value_ = 0;
+  bool enabled_ = true;
+};
+
+/// Value distribution: exact count/sum/min/max plus base-2 geometric
+/// buckets for approximate percentiles. Unit-agnostic; protocol code
+/// records milliseconds by convention (series named `*_ms`).
+class Histogram {
+ public:
+  void Record(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / static_cast<double>(count_); }
+  /// Approximate percentile (p in [0,1]) from the geometric buckets:
+  /// exact to within one bucket width (a factor of 2).
+  double Percentile(double p) const;
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  // Bucket i counts values in [2^(i-kBucketBias), 2^(i-kBucketBias+1)),
+  // bucket 0 additionally absorbs everything smaller (incl. <= 0).
+  static constexpr int kNumBuckets = 64;
+  static constexpr int kBucketBias = 20;  // Bucket 0 starts at 2^-20.
+  static int BucketIndex(double v);
+  static double BucketUpperBound(int index);
+
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::array<uint64_t, kNumBuckets> buckets_{};
+  bool enabled_ = true;
+};
+
+/// Process-local registry of named series. Lookup happens once, at wiring
+/// time (`GetCounter` etc. return stable pointers for the registry's
+/// lifetime); the instruments themselves are branch-plus-add cheap.
+/// Disabling the registry turns every write into a single predictable
+/// branch, so instrumented code needs no `if (metrics)` guards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the series named `name`, creating it on first use. Repeated
+  /// calls with one name return the same pointer. Names use '/'-separated
+  /// components, e.g. "net/wan_bytes_sent".
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Enables/disables every current and future instrument.
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  /// Zeroes all series (handles stay valid).
+  void ResetAll();
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t gauge_count() const { return gauges_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  /// Writes {"counters":{...},"gauges":{...},"histograms":{...}} with
+  /// per-histogram count/sum/min/max/mean/p50/p99. Deterministic order
+  /// (sorted by name).
+  void WriteJson(JsonWriter& writer) const;
+
+ private:
+  bool enabled_ = true;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,43 @@
+#include "obs/telemetry.h"
+
+namespace massbft {
+namespace obs {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kBatching:
+      return "batching";
+    case Phase::kLocalConsensus:
+      return "local_consensus";
+    case Phase::kEncode:
+      return "encode";
+    case Phase::kGlobalReplication:
+      return "global_replication";
+    case Phase::kRebuild:
+      return "rebuild";
+    case Phase::kExecution:
+      return "execution";
+  }
+  return "unknown";
+}
+
+Telemetry::Telemetry() {
+  for (int i = 0; i < kNumPhases; ++i) {
+    phase_hist_[static_cast<size_t>(i)] = registry_.GetHistogram(
+        std::string("phase/") + PhaseName(static_cast<Phase>(i)) + "_ms");
+  }
+}
+
+void Telemetry::RecordPhaseSpan(Phase phase, uint32_t track, SimTime start,
+                                SimTime end, uint16_t gid, uint64_t seq) {
+  phase_hist_[static_cast<size_t>(phase)]->Record(
+      SimToSeconds(end - start) * 1e3);
+  if (trace_.enabled()) {
+    trace_.RecordSpan(track, "phase", PhaseName(phase), start, end,
+                      TraceArgs{{{"gid", static_cast<double>(gid)},
+                                 {"seq", static_cast<double>(seq)}}});
+  }
+}
+
+}  // namespace obs
+}  // namespace massbft

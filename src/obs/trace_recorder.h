@@ -1,0 +1,100 @@
+#ifndef MASSBFT_OBS_TRACE_RECORDER_H_
+#define MASSBFT_OBS_TRACE_RECORDER_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json_writer.h"
+#include "sim/time.h"
+
+namespace massbft {
+namespace obs {
+
+/// Up to this many numeric key/value annotations per event.
+constexpr int kMaxTraceArgs = 3;
+
+/// One key/value annotation on a trace event. Keys must be string
+/// literals (they are stored unowned).
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0;
+};
+
+using TraceArgs = std::array<TraceArg, kMaxTraceArgs>;
+
+/// Records sim-time spans, instants and counter samples and exports them
+/// as Chrome trace-event JSON (loadable in chrome://tracing or Perfetto).
+///
+/// Tracks are uint32 ids mapped to Chrome "threads" (one per simulated
+/// node, by convention NodeId::Packed(); see RegisterTrack). Categories
+/// and names must be string literals — the recorder keeps only the
+/// pointer, which keeps recording allocation-free except for the event
+/// vector growth itself.
+///
+/// Disabled (the default) every Record* call is a single branch; callers
+/// may also check enabled() first to skip argument preparation.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Names a track for the exporter (Chrome thread_name metadata). Safe to
+  /// call whether or not tracing is enabled; idempotent per track.
+  void RegisterTrack(uint32_t track, const std::string& name);
+
+  /// Complete span [start, end] on `track`. `category`/`name` must be
+  /// string literals.
+  void RecordSpan(uint32_t track, const char* category, const char* name,
+                  SimTime start, SimTime end, TraceArgs args = {});
+
+  /// Zero-duration instant event.
+  void RecordInstant(uint32_t track, const char* category, const char* name,
+                     SimTime at, TraceArgs args = {});
+
+  /// Counter sample (rendered as a filled graph by the trace viewer).
+  void RecordCounter(uint32_t track, const char* name, SimTime at,
+                     double value);
+
+  size_t event_count() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  /// Writes the full Chrome trace-event JSON document. Timestamps are
+  /// microseconds with nanosecond fractions; output is deterministic for
+  /// a fixed event sequence.
+  void WriteChromeTrace(std::ostream& out) const;
+  /// Same, to a file. Fails with kIoError if the file cannot be written.
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  enum class EventKind : uint8_t { kSpan, kInstant, kCounter };
+
+  struct Event {
+    EventKind kind;
+    uint32_t track;
+    const char* category;
+    const char* name;
+    SimTime start;
+    SimTime end;     // kSpan only.
+    double value;    // kCounter only.
+    TraceArgs args;  // kSpan / kInstant.
+  };
+
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::map<uint32_t, std::string> track_names_;
+};
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_TRACE_RECORDER_H_

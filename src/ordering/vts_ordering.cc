@@ -16,6 +16,24 @@ VtsOrderingEngine::VtsOrderingEngine(int num_groups, Callbacks callbacks)
     GetEntry(static_cast<uint16_t>(g), 0);
 }
 
+void VtsOrderingEngine::set_telemetry(obs::Telemetry* telemetry,
+                                      uint32_t trace_track,
+                                      std::function<SimTime()> now) {
+  telemetry_ = telemetry;
+  trace_track_ = trace_track;
+  now_ = std::move(now);
+  if (telemetry_ == nullptr) {
+    ts_counter_ = nullptr;
+    exec_counter_ = nullptr;
+    inferred_exec_counter_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& registry = telemetry_->registry();
+  ts_counter_ = registry.GetCounter("vts/timestamps_received");
+  exec_counter_ = registry.GetCounter("vts/executions");
+  inferred_exec_counter_ = registry.GetCounter("vts/inferred_executions");
+}
+
 VtsOrderingEngine::EntryState& VtsOrderingEngine::GetEntry(uint16_t gid,
                                                            uint64_t seq) {
   auto [it, inserted] = entries_.try_emplace(Key{gid, seq});
@@ -32,6 +50,7 @@ VtsOrderingEngine::EntryState& VtsOrderingEngine::GetEntry(uint16_t gid,
 void VtsOrderingEngine::OnTimestamp(uint16_t assigner, uint16_t target_gid,
                                     uint64_t target_seq, uint64_t ts) {
   if (assigner >= num_groups_ || target_gid >= num_groups_) return;
+  if (ts_counter_ != nullptr) ts_counter_->Add();
   // Drop stamps for already-executed entries; they cannot regress heads
   // because inference below still consumes the clock value.
   if (target_seq >= heads_[target_gid]) {
@@ -100,6 +119,22 @@ void VtsOrderingEngine::RunExecutionLoop() {
     // Algorithm 2 lines 9-15: execute, promote the successor to head and
     // seed its unset elements from the predecessor's (valid lower bounds).
     EntryState pre = entries_.at(Key{static_cast<uint16_t>(g), seq});
+    if (exec_counter_ != nullptr) {
+      exec_counter_->Add();
+      // Executed on inferred lower bounds rather than a full VTS — the
+      // asynchronous fast path of Algorithm 2.
+      bool fully_set =
+          std::all_of(pre.set.begin(), pre.set.end(), [](bool b) { return b; });
+      if (!fully_set) inferred_exec_counter_->Add();
+      obs::TraceRecorder& trace = telemetry_->trace();
+      if (trace.enabled() && now_) {
+        trace.RecordInstant(
+            trace_track_, "vts", "vts_execute", now_(),
+            obs::TraceArgs{{{"gid", static_cast<double>(g)},
+                            {"seq", static_cast<double>(seq)},
+                            {"inferred", fully_set ? 0.0 : 1.0}}});
+      }
+    }
     cb_.execute(static_cast<uint16_t>(g), seq);
     ++executed_count_;
     entries_.erase(Key{static_cast<uint16_t>(g), seq});

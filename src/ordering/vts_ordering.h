@@ -6,6 +6,9 @@
 #include <map>
 #include <vector>
 
+#include "obs/telemetry.h"
+#include "sim/time.h"
+
 namespace massbft {
 
 /// Asynchronous log ordering by vector timestamps — the paper's Algorithm 2
@@ -35,6 +38,14 @@ class VtsOrderingEngine {
   };
 
   VtsOrderingEngine(int num_groups, Callbacks callbacks);
+
+  /// Wires observability (optional). Counters "vts/timestamps_received",
+  /// "vts/executions" and "vts/inferred_executions" (heads executed before
+  /// their VTS was fully stamped — the paper's asynchronous fast path)
+  /// land in the registry; when tracing and `now` is set, each execution
+  /// emits an instant event on `trace_track`.
+  void set_telemetry(obs::Telemetry* telemetry, uint32_t trace_track,
+                     std::function<SimTime()> now);
 
   /// Group `assigner` stamped e_{target_gid,target_seq} with clock value
   /// `ts` (from an accept receipt or a TimestampAssign takeover message).
@@ -78,6 +89,14 @@ class VtsOrderingEngine {
   std::map<Key, EntryState> entries_;
   uint64_t executed_count_ = 0;
   bool in_loop_ = false;
+
+  // Pre-resolved observability handles (null when not wired).
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t trace_track_ = 0;
+  std::function<SimTime()> now_;
+  obs::Counter* ts_counter_ = nullptr;
+  obs::Counter* exec_counter_ = nullptr;
+  obs::Counter* inferred_exec_counter_ = nullptr;
 };
 
 }  // namespace massbft

@@ -9,6 +9,38 @@ namespace massbft {
 
 EntryRebuilder::EntryRebuilder(Config config) : config_(std::move(config)) {
   MASSBFT_CHECK(config_.n_total >= config_.n_data && config_.n_data >= 1);
+  if (config_.telemetry != nullptr) {
+    obs::MetricsRegistry& registry = config_.telemetry->registry();
+    accepted_counter_ = registry.GetCounter("rebuild/chunks_accepted");
+    duplicate_counter_ = registry.GetCounter("rebuild/chunks_duplicate");
+    rejected_counter_ = registry.GetCounter("rebuild/chunks_rejected");
+    rebuilt_counter_ = registry.GetCounter("rebuild/entries_rebuilt");
+    fake_bucket_counter_ = registry.GetCounter("rebuild/fake_buckets");
+  }
+}
+
+EntryRebuilder::AddResult EntryRebuilder::Count(AddResult result) {
+  if (accepted_counter_ == nullptr) return result;
+  switch (result) {
+    case AddResult::kPending:
+      accepted_counter_->Add();
+      break;
+    case AddResult::kDuplicate:
+      duplicate_counter_->Add();
+      break;
+    case AddResult::kRejected:
+      rejected_counter_->Add();
+      break;
+    case AddResult::kRebuilt:
+      accepted_counter_->Add();
+      rebuilt_counter_->Add();
+      break;
+    case AddResult::kBucketFake:
+      accepted_counter_->Add();
+      fake_bucket_counter_->Add();
+      break;
+  }
+  return result;
 }
 
 EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
@@ -16,29 +48,29 @@ EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
                                                    const Bytes& data,
                                                    const MerkleProof& proof,
                                                    const Certificate& cert) {
-  if (complete()) return AddResult::kDuplicate;
+  if (complete()) return Count(AddResult::kDuplicate);
   if (chunk_id >= static_cast<uint32_t>(config_.n_total))
-    return AddResult::kRejected;
-  if (banned_ids_.count(chunk_id) > 0) return AddResult::kDuplicate;
+    return Count(AddResult::kRejected);
+  if (banned_ids_.count(chunk_id) > 0) return Count(AddResult::kDuplicate);
 
   // The Merkle tree is built over all n_total chunks in id order, so the
   // proof's leaf index must equal the chunk id and its leaf count must
   // match the plan.
   if (proof.index != chunk_id ||
       proof.leaf_count != static_cast<uint32_t>(config_.n_total))
-    return AddResult::kRejected;
+    return Count(AddResult::kRejected);
   if (!MerkleTree::VerifyProof(root, MerkleTree::HashLeaf(data), proof))
-    return AddResult::kRejected;
+    return Count(AddResult::kRejected);
 
   Bucket& bucket = buckets_[root];
-  if (bucket.proven_fake) return AddResult::kDuplicate;
+  if (bucket.proven_fake) return Count(AddResult::kDuplicate);
   auto [it, inserted] = bucket.chunks.emplace(
       chunk_id, std::make_pair(data, proof));
-  if (!inserted) return AddResult::kDuplicate;
+  if (!inserted) return Count(AddResult::kDuplicate);
 
   if (static_cast<int>(bucket.chunks.size()) >= config_.n_data)
-    return TryRebuild(root, bucket, cert);
-  return AddResult::kPending;
+    return Count(TryRebuild(root, bucket, cert));
+  return Count(AddResult::kPending);
 }
 
 EntryRebuilder::AddResult EntryRebuilder::TryRebuild(const Digest& root,

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "obs/telemetry.h"
 #include "proto/entry.h"
 #include "proto/messages.h"
 
@@ -37,6 +38,10 @@ class EntryRebuilder {
     /// cert.Verify(registry, 2f+1 of the sender group).
     std::function<bool(const Certificate& cert, const Digest& entry_digest)>
         validate;
+    /// Observability sink (optional): chunk outcomes land in the registry
+    /// counters "rebuild/chunks_{accepted,duplicate,rejected}",
+    /// "rebuild/entries_rebuilt" and "rebuild/fake_buckets".
+    obs::Telemetry* telemetry = nullptr;
   };
 
   /// Outcome of feeding one chunk.
@@ -79,12 +84,20 @@ class EntryRebuilder {
 
   AddResult TryRebuild(const Digest& root, Bucket& bucket,
                        const Certificate& cert);
+  /// Reports `result` into the registry counters (no-op when unwired).
+  AddResult Count(AddResult result);
 
   Config config_;
   std::map<Digest, Bucket> buckets_;
   std::set<uint32_t> banned_ids_;
   EntryPtr entry_;
   Digest winning_root_{};
+  // Pre-resolved observability handles (null when not wired).
+  obs::Counter* accepted_counter_ = nullptr;
+  obs::Counter* duplicate_counter_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  obs::Counter* rebuilt_counter_ = nullptr;
+  obs::Counter* fake_bucket_counter_ = nullptr;
 };
 
 }  // namespace massbft

@@ -12,14 +12,22 @@ namespace massbft {
 /// Latency sample accumulator with average/percentile reporting.
 class LatencyStats {
  public:
-  void Record(SimTime latency) { samples_.push_back(latency); }
+  void Record(SimTime latency) {
+    samples_.push_back(latency);
+    // A percentile query may have sorted the vector already; appending
+    // invalidates that order.
+    sorted_ = false;
+  }
 
   size_t count() const { return samples_.size(); }
   double MeanMs() const;
   /// p in [0, 1], e.g. 0.5 / 0.99. Returns 0 when empty.
   double PercentileMs(double p) const;
 
-  void Clear() { samples_.clear(); }
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
 
  private:
   mutable std::vector<SimTime> samples_;

@@ -12,6 +12,24 @@ Network::Network(Simulator* sim, const Topology* topology, DeliverFn deliver)
   for (NodeId node : topology_->AllNodes()) states_[node.Packed()] = {};
 }
 
+void Network::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) {
+    wan_bytes_counter_ = nullptr;
+    wan_msgs_counter_ = nullptr;
+    lan_bytes_counter_ = nullptr;
+    lan_msgs_counter_ = nullptr;
+    wan_queue_hist_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& registry = telemetry_->registry();
+  wan_bytes_counter_ = registry.GetCounter("net/wan_bytes_sent");
+  wan_msgs_counter_ = registry.GetCounter("net/wan_messages_sent");
+  lan_bytes_counter_ = registry.GetCounter("net/lan_bytes_sent");
+  lan_msgs_counter_ = registry.GetCounter("net/lan_messages_sent");
+  wan_queue_hist_ = registry.GetHistogram("net/wan_uplink_queue_ms");
+}
+
 void Network::SendWan(NodeId src, NodeId dst, MessagePtr message) {
   Send(src, dst, std::move(message), /*wan=*/true);
 }
@@ -54,6 +72,30 @@ void Network::Send(NodeId src, NodeId dst, MessagePtr message, bool wan) {
   } else {
     s_src.stats.lan_bytes_sent += bytes;
     s_src.stats.lan_messages_sent += 1;
+  }
+
+  if (telemetry_ != nullptr) {
+    if (wan) {
+      wan_bytes_counter_->Add(bytes);
+      wan_msgs_counter_->Add();
+      wan_queue_hist_->Record(SimToSeconds(departure - now) * 1e3);
+    } else {
+      lan_bytes_counter_->Add(bytes);
+      lan_msgs_counter_->Add();
+    }
+    obs::TraceRecorder& trace = telemetry_->trace();
+    if (trace.enabled()) {
+      uint32_t track = obs::Telemetry::NodeTrack(src.Packed());
+      obs::TraceArgs args{
+          {{"bytes", static_cast<double>(bytes)},
+           {"type", static_cast<double>(message->type())},
+           {"dst", static_cast<double>(dst.Packed())}}};
+      if (departure > now)
+        trace.RecordSpan(track, "net", wan ? "wan_queue" : "lan_queue", now,
+                         departure, args);
+      trace.RecordSpan(track, "net", wan ? "wan_transfer" : "lan_transfer",
+                       departure, completion, args);
+    }
   }
 
   sim_->ScheduleAt(completion, [this, dst, src, m = std::move(message)]() {

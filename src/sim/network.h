@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "crypto/signature.h"  // NodeId
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "sim/topology.h"
@@ -61,6 +62,13 @@ class Network {
 
   Network(Simulator* sim, const Topology* topology, DeliverFn deliver);
 
+  /// Attaches an observability context: aggregate traffic counters land in
+  /// its registry, and — when tracing is enabled — every message yields a
+  /// queue span (sender uplink contention) plus a transfer span
+  /// (serialization + propagation) on the sender's track, annotated with
+  /// byte size and message type. Pass nullptr to detach.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   /// Sends over WAN (inter-data-center). Also usable intra-group, but
   /// protocol code should use SendLan for that.
   void SendWan(NodeId src, NodeId dst, MessagePtr message);
@@ -99,6 +107,14 @@ class Network {
   DeliverFn deliver_;
   std::unordered_map<uint32_t, NodeState> states_;
   std::unordered_map<uint32_t, bool> crashed_;
+
+  // Observability (optional; see set_telemetry).
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::Counter* wan_bytes_counter_ = nullptr;
+  obs::Counter* wan_msgs_counter_ = nullptr;
+  obs::Counter* lan_bytes_counter_ = nullptr;
+  obs::Counter* lan_msgs_counter_ = nullptr;
+  obs::Histogram* wan_queue_hist_ = nullptr;
 };
 
 }  // namespace massbft

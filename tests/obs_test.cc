@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "obs/json_writer.h"
+#include "obs/metrics_registry.h"
+#include "obs/telemetry.h"
+#include "obs/trace_recorder.h"
+#include "sim/time.h"
+
+namespace massbft {
+namespace {
+
+// ------------------------------------------------------------------------
+// Minimal recursive-descent JSON validator. The exporters promise
+// syntactically valid JSON; this checks that promise without pulling in a
+// parser dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    pos_ = 0;
+    if (!ParseValue()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ParseValue() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't') return ParseLiteral("true");
+    if (c == 'f') return ParseLiteral("false");
+    if (c == 'n') return ParseLiteral("null");
+    return ParseNumber();
+  }
+  bool ParseObject() {
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!ParseString()) return false;
+      if (!Consume(':')) return false;
+      if (!ParseValue()) return false;
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool ParseArray() {
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    while (true) {
+      if (!ParseValue()) return false;
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+  bool ParseString() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_])))
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // Unescaped control character.
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool ParseLiteral(const char* lit) {
+    size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    char* end = nullptr;
+    std::string num = text_.substr(start, pos_ - start);
+    std::strtod(num.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonValidator(text).Valid();
+}
+
+// --------------------------------------------------------------- JsonWriter
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Member("a", 1);
+  w.Member("b", "two");
+  w.Key("c");
+  w.BeginArray();
+  w.Value(1.5);
+  w.Value(true);
+  w.Null();
+  w.BeginObject();
+  w.Member("nested", uint64_t{18446744073709551615ull});
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\"a\":1,\"b\":\"two\",\"c\":[1.5,true,null,"
+            "{\"nested\":18446744073709551615}]}");
+  EXPECT_TRUE(IsValidJson(out.str()));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(obs::JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(obs::JsonWriter::Escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::JsonWriter::Escape("tab\there\n"), "tab\\there\\n");
+  std::string ctrl(1, '\x01');
+  EXPECT_EQ(obs::JsonWriter::Escape(ctrl), "\\u0001");
+
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Member("k\"ey", std::string("v\\1\n"));
+  w.EndObject();
+  EXPECT_TRUE(IsValidJson(out.str()));
+}
+
+TEST(JsonWriterTest, NumbersRoundTrip) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.BeginArray();
+  w.Value(0.125);
+  w.Value(int64_t{-7});
+  w.Value(3.0);
+  w.EndArray();
+  EXPECT_TRUE(IsValidJson(out.str()));
+  EXPECT_NE(out.str().find("0.125"), std::string::npos);
+  EXPECT_NE(out.str().find("-7"), std::string::npos);
+}
+
+// --------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, HandlesAreStableAndShared) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("net/wan_bytes_sent");
+  obs::Counter* b = registry.GetCounter("net/wan_bytes_sent");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.counter_count(), 1u);
+
+  a->Add(5);
+  b->Add();
+  EXPECT_EQ(a->value(), 6u);
+
+  obs::Gauge* g = registry.GetGauge("net/util");
+  EXPECT_EQ(g, registry.GetGauge("net/util"));
+  g->Set(0.75);
+  EXPECT_DOUBLE_EQ(g->value(), 0.75);
+
+  obs::Histogram* h = registry.GetHistogram("pbft/prepare_ms");
+  EXPECT_EQ(h, registry.GetHistogram("pbft/prepare_ms"));
+  EXPECT_EQ(registry.gauge_count(), 1u);
+  EXPECT_EQ(registry.histogram_count(), 1u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryIgnoresWrites) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("c");
+  obs::Histogram* h = registry.GetHistogram("h");
+  registry.set_enabled(false);
+  c->Add(10);
+  h->Record(1.0);
+  // New instruments created while disabled are disabled too.
+  obs::Gauge* g = registry.GetGauge("g");
+  g->Set(4.0);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+
+  registry.set_enabled(true);
+  c->Add(10);
+  g->Set(4.0);
+  EXPECT_EQ(c->value(), 10u);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+}
+
+TEST(MetricsRegistryTest, ResetAllKeepsHandlesValid) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("c");
+  obs::Histogram* h = registry.GetHistogram("h");
+  c->Add(3);
+  h->Record(2.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  c->Add(1);
+  EXPECT_EQ(c->value(), 1u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(HistogramTest, ExactStatsAndApproxPercentiles) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("h");
+  EXPECT_DOUBLE_EQ(h->min(), 0.0);
+  EXPECT_DOUBLE_EQ(h->max(), 0.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h->Percentile(0.5), 0.0);
+
+  for (int i = 1; i <= 100; ++i) h->Record(static_cast<double>(i));
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 50.5);
+  // Geometric buckets: percentile exact to within a factor of 2.
+  double p50 = h->Percentile(0.5);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 128.0);
+  double p99 = h->Percentile(0.99);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 256.0);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsValidAndDeterministic) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("z/last")->Add(2);
+  registry.GetCounter("a/first")->Add(1);
+  registry.GetGauge("util")->Set(0.5);
+  registry.GetHistogram("lat_ms")->Record(3.25);
+
+  auto dump = [&registry]() {
+    std::ostringstream out;
+    obs::JsonWriter w(out);
+    registry.WriteJson(w);
+    return out.str();
+  };
+  std::string first = dump();
+  EXPECT_TRUE(IsValidJson(first));
+  EXPECT_NE(first.find("\"a/first\""), std::string::npos);
+  EXPECT_NE(first.find("\"z/last\""), std::string::npos);
+  EXPECT_NE(first.find("\"lat_ms\""), std::string::npos);
+  // Sorted output: a/first serialized before z/last.
+  EXPECT_LT(first.find("\"a/first\""), first.find("\"z/last\""));
+  EXPECT_EQ(first, dump());
+}
+
+// ------------------------------------------------------------ TraceRecorder
+
+TEST(TraceRecorderTest, DisabledByDefaultRecordsNothing) {
+  obs::TraceRecorder trace;
+  EXPECT_FALSE(trace.enabled());
+  trace.RecordSpan(1, "cat", "name", 0, kMillisecond);
+  trace.RecordInstant(1, "cat", "tick", kMillisecond);
+  trace.RecordCounter(1, "depth", kMillisecond, 3.0);
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, RecordsAndClears) {
+  obs::TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.RecordSpan(7, "entry", "batching", kMillisecond, 3 * kMillisecond,
+                   obs::TraceArgs{{{"gid", 1.0}, {"seq", 9.0}}});
+  trace.RecordInstant(7, "client", "submit", 2 * kMillisecond);
+  trace.RecordCounter(7, "queue", 2 * kMillisecond, 4.0);
+  EXPECT_EQ(trace.event_count(), 3u);
+  trace.Clear();
+  EXPECT_EQ(trace.event_count(), 0u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceExportIsValidJson) {
+  obs::TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.RegisterTrack(7, "g0/n3");
+  trace.RegisterTrack(0x80000000u, "clients/g0");
+  trace.RecordSpan(7, "entry", "local_consensus", kMillisecond,
+                   5 * kMillisecond,
+                   obs::TraceArgs{{{"gid", 0.0}, {"seq", 1.0}}});
+  trace.RecordInstant(0x80000000u, "client", "submit", kMillisecond / 2);
+  trace.RecordCounter(7, "inflight", 2 * kMillisecond, 2.0);
+
+  std::ostringstream out;
+  trace.WriteChromeTrace(out);
+  std::string doc = out.str();
+  EXPECT_TRUE(IsValidJson(doc));
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // Track metadata precedes the span events.
+  size_t meta = doc.find("thread_name");
+  size_t span = doc.find("\"ph\":\"X\"");
+  ASSERT_NE(meta, std::string::npos);
+  ASSERT_NE(span, std::string::npos);
+  EXPECT_LT(meta, span);
+  EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(doc.find("local_consensus"), std::string::npos);
+  EXPECT_NE(doc.find("g0/n3"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, WriteChromeTraceFileRoundTrips) {
+  obs::TraceRecorder trace;
+  trace.set_enabled(true);
+  trace.RecordSpan(1, "cat", "span", 0, kMillisecond);
+
+  std::string path = testing::TempDir() + "/obs_test_trace.json";
+  ASSERT_TRUE(trace.WriteChromeTraceFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str()));
+
+  EXPECT_FALSE(
+      trace.WriteChromeTraceFile("/no/such/dir/obs_test_trace.json").ok());
+}
+
+// ---------------------------------------------------------------- Telemetry
+
+TEST(TelemetryTest, PhaseSpansFeedHistogramAndTrace) {
+  obs::Telemetry tel;
+  EXPECT_FALSE(tel.tracing());
+  tel.RecordPhaseSpan(obs::Phase::kLocalConsensus, 7, kMillisecond,
+                      5 * kMillisecond, 0, 1);
+  const obs::Histogram& local = tel.phase(obs::Phase::kLocalConsensus);
+  EXPECT_EQ(local.count(), 1u);
+  EXPECT_DOUBLE_EQ(local.sum(), 4.0);  // Milliseconds.
+  EXPECT_EQ(tel.trace().event_count(), 0u);  // Tracing off: no span.
+
+  tel.set_tracing(true);
+  tel.RecordPhaseSpan(obs::Phase::kLocalConsensus, 7, 0, 2 * kMillisecond, 0,
+                      2);
+  EXPECT_EQ(local.count(), 2u);
+  EXPECT_DOUBLE_EQ(local.sum(), 6.0);
+  EXPECT_EQ(tel.trace().event_count(), 1u);
+}
+
+TEST(TelemetryTest, PhaseNamesAndTracks) {
+  EXPECT_STREQ(obs::PhaseName(obs::Phase::kBatching), "batching");
+  EXPECT_STREQ(obs::PhaseName(obs::Phase::kGlobalReplication),
+               "global_replication");
+  // Phase histograms live in the registry under phase/<name>_ms.
+  obs::Telemetry tel;
+  EXPECT_EQ(tel.phase_histogram(obs::Phase::kEncode),
+            tel.registry().GetHistogram("phase/encode_ms"));
+  // Client tracks never collide with node tracks (high bit set).
+  EXPECT_NE(obs::Telemetry::ClientTrack(0), obs::Telemetry::NodeTrack(0));
+  EXPECT_NE(obs::Telemetry::ClientTrack(1), obs::Telemetry::ClientTrack(2));
+}
+
+// ------------------------------------------- End-to-end export determinism
+
+ExperimentConfig SmallTracedConfig(uint64_t seed) {
+  ExperimentConfig config;
+  config.topology = TopologyConfig::Nationwide(2, 4);
+  config.protocol = ProtocolConfig::MassBft();
+  config.workload = WorkloadKind::kYcsbA;
+  config.workload_scale = 0.01;
+  config.clients_per_group = 20;
+  config.duration = kSecond / 2;
+  config.warmup = kSecond / 10;
+  config.seed = seed;
+  config.enable_tracing = true;
+  return config;
+}
+
+struct TracedRun {
+  std::string trace_json;
+  std::string metrics_json;
+  std::string result_json;
+  size_t event_count = 0;
+};
+
+TracedRun RunTraced(uint64_t seed) {
+  Experiment experiment(SmallTracedConfig(seed));
+  EXPECT_TRUE(experiment.Setup().ok());
+  ExperimentResult result = experiment.Run();
+  TracedRun run;
+  std::ostringstream trace_out;
+  experiment.telemetry().trace().WriteChromeTrace(trace_out);
+  run.trace_json = trace_out.str();
+  std::ostringstream metrics_out;
+  obs::JsonWriter w(metrics_out);
+  experiment.telemetry().registry().WriteJson(w);
+  run.metrics_json = metrics_out.str();
+  run.result_json = result.ToJson();
+  run.event_count = experiment.telemetry().trace().event_count();
+  return run;
+}
+
+TEST(ObsEndToEndTest, TraceIsDeterministicForFixedSeed) {
+  TracedRun a = RunTraced(7);
+  TracedRun b = RunTraced(7);
+  EXPECT_GT(a.event_count, 0u);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.result_json, b.result_json);
+}
+
+TEST(ObsEndToEndTest, ExportsParseAndCoverCommitPath) {
+  TracedRun run = RunTraced(11);
+  EXPECT_TRUE(IsValidJson(run.trace_json));
+  EXPECT_TRUE(IsValidJson(run.metrics_json));
+  EXPECT_TRUE(IsValidJson(run.result_json));
+  // The entry lifecycle appears in the trace...
+  EXPECT_NE(run.trace_json.find("\"batching\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"local_consensus\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"global_replication\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"execution\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("\"submit\""), std::string::npos);
+  EXPECT_NE(run.trace_json.find("wan_transfer"), std::string::npos);
+  // ...and the registry holds the matching series.
+  EXPECT_NE(run.metrics_json.find("\"phase/local_consensus_ms\""),
+            std::string::npos);
+  EXPECT_NE(run.metrics_json.find("\"net/wan_bytes_sent\""),
+            std::string::npos);
+  EXPECT_NE(run.metrics_json.find("\"pbft/prepare_ms\""), std::string::npos);
+  // The result dump carries the Fig 11 phase sums and abort accounting.
+  EXPECT_NE(run.result_json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(run.result_json.find("\"aborted_txns\""), std::string::npos);
+  EXPECT_NE(run.result_json.find("\"timeline\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace massbft

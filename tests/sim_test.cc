@@ -378,5 +378,64 @@ TEST(MetricsTest, AbortsCounted) {
   EXPECT_EQ(metrics.aborted(), 3u);
 }
 
+// Regression: Record() after a percentile read must invalidate the sorted
+// cache, or later percentiles are computed over a stale ordering.
+TEST(MetricsTest, PercentilesCorrectAfterInterleavedRecords) {
+  LatencyStats stats;
+  stats.Record(30 * kMillisecond);
+  stats.Record(10 * kMillisecond);
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(1.0), 30.0);  // Triggers the sort.
+  stats.Record(20 * kMillisecond);  // Appended after the sort.
+  stats.Record(5 * kMillisecond);
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(0.5), 15.0);  // (10+20)/2.
+  stats.Clear();
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(0.5), 0.0);
+  stats.Record(40 * kMillisecond);
+  EXPECT_DOUBLE_EQ(stats.PercentileMs(1.0), 40.0);
+}
+
+TEST(MetricsTest, WindowBoundariesAreInclusive) {
+  MetricsCollector metrics(kSecond, 3 * kSecond);
+  metrics.RecordCommit(kSecond / 2, kSecond);      // Exactly at warmup_.
+  metrics.RecordCommit(kSecond, 3 * kSecond);      // Exactly at horizon_.
+  metrics.RecordCommit(0, kSecond - 1);            // Just before warmup_.
+  metrics.RecordCommit(0, 3 * kSecond + 1);        // Just after horizon_.
+  EXPECT_EQ(metrics.committed(), 2u);
+  EXPECT_DOUBLE_EQ(metrics.ThroughputTps(), 1.0);  // 2 txns over 2 s.
+}
+
+TEST(MetricsTest, TimelineEmptyBucketsAndBatches) {
+  MetricsCollector metrics(0, 10 * kSecond, kSecond);
+  EXPECT_TRUE(metrics.Timeline().empty());
+
+  // A multi-txn batch counts each transaction at the batch latency.
+  metrics.RecordCommit(0, kSecond / 2, 4);
+  // A commit three buckets later leaves two empty buckets in between.
+  metrics.RecordCommit(3 * kSecond, 3 * kSecond + 500 * kMillisecond, 2);
+  auto timeline = metrics.Timeline();
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_DOUBLE_EQ(timeline[0].time_s, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[0].tps, 4.0);
+  EXPECT_DOUBLE_EQ(timeline[0].mean_latency_ms, 500.0);
+  for (size_t i = 1; i <= 2; ++i) {
+    EXPECT_DOUBLE_EQ(timeline[i].tps, 0.0);
+    EXPECT_DOUBLE_EQ(timeline[i].mean_latency_ms, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(timeline[3].tps, 2.0);
+  EXPECT_DOUBLE_EQ(timeline[3].mean_latency_ms, 500.0);
+}
+
+TEST(MetricsTest, TimelineBucketBoundaryCommit) {
+  MetricsCollector metrics(0, 10 * kSecond, kSecond);
+  // A commit exactly on a bucket boundary lands in the later bucket.
+  metrics.RecordCommit(0, kSecond, 1);
+  auto timeline = metrics.Timeline();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline[0].tps, 0.0);
+  EXPECT_DOUBLE_EQ(timeline[1].tps, 1.0);
+}
+
 }  // namespace
 }  // namespace massbft
