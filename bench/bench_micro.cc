@@ -24,6 +24,7 @@
 #include "proto/entry.h"
 #include "replication/encoder.h"
 #include "replication/transfer_plan.h"
+#include "sim/simulator.h"
 #include "workload/workload.h"
 
 namespace massbft {
@@ -44,6 +45,17 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+// Same hash with the portable compression function pinned: the spread
+// against BM_Sha256 is the SHA-NI speedup on this machine.
+void BM_Sha256Scalar(benchmark::State& state) {
+  Bytes data = RandomBytes(static_cast<size_t>(state.range(0)));
+  Sha256::ForceImplForTest(Sha256::Impl::kScalar);
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::Hash(data));
+  Sha256::RestoreImplDispatch();
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256Scalar)->Arg(65536);
 
 void BM_HmacSha256(benchmark::State& state) {
   Bytes key = RandomBytes(32);
@@ -96,6 +108,20 @@ void BM_Gf256MulAddRow(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Gf256MulAddRow)->Arg(4096)->Arg(65536);
+
+// Portable-kernel counterpart of BM_Gf256MulAddRow (SIMD speedup probe).
+void BM_Gf256MulAddRowScalar(benchmark::State& state) {
+  Bytes in = RandomBytes(static_cast<size_t>(state.range(0)));
+  Bytes out(in.size(), 0);
+  Gf256::ForceKernelForTest(Gf256::Kernel::kScalar);
+  for (auto _ : state) {
+    Gf256::MulAddRow(0x57, in.data(), out.data(), in.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  Gf256::RestoreKernelDispatch();
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gf256MulAddRowScalar)->Arg(65536);
 
 void BM_RsEncode(benchmark::State& state) {
   // The paper's 7->7 plan (3 data + 4 parity) and 4->7 (13+15) on a 56 KB
@@ -175,6 +201,26 @@ void BM_AriaBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AriaBatch)->Arg(37)->Arg(270);
+
+// ------------------------------------------------------------- Simulator
+
+// Raw event-loop turnover: schedule-then-run batches of small callbacks.
+// With InlineFunction callbacks and the reserved binary heap this path
+// performs no allocation per event.
+void BM_SimulatorEventLoop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Simulator sim;
+  sim.Reserve(static_cast<size_t>(batch));
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i)
+      sim.Schedule(i % 7, [&sink, i] { sink += static_cast<uint64_t>(i); });
+    sim.RunAll();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SimulatorEventLoop)->Arg(1024);
 
 // -------------------------------------------------------- Observability
 

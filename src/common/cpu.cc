@@ -1,0 +1,32 @@
+#include "common/cpu.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace massbft {
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    f.ssse3 = __builtin_cpu_supports("ssse3") != 0;
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.sha_ni = __builtin_cpu_supports("sha") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+const std::string& SimdOverride() {
+  static const std::string value = [] {
+    const char* env = std::getenv("MASSBFT_SIMD");
+    std::string v = env == nullptr ? "" : env;
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    return v;
+  }();
+  return value;
+}
+
+}  // namespace massbft

@@ -1,0 +1,29 @@
+#ifndef MASSBFT_COMMON_CPU_H_
+#define MASSBFT_COMMON_CPU_H_
+
+#include <string>
+
+namespace massbft {
+
+/// Runtime CPU capabilities relevant to the hot kernels (GF(2^8) coding and
+/// SHA-256). All false on non-x86 builds, where only the portable scalar
+/// paths exist.
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool avx2 = false;
+  bool sha_ni = false;
+};
+
+/// Detected features of the running CPU (detection runs once).
+const CpuFeatures& GetCpuFeatures();
+
+/// Lowercased value of the MASSBFT_SIMD environment variable ("" if unset).
+/// Recognized values: "scalar" (force portable kernels everywhere),
+/// "ssse3", "avx2" (cap the GF(2^8) kernel tier), "auto"/"" (use the best
+/// supported). Each kernel family reads this once at first dispatch and
+/// logs its decision.
+const std::string& SimdOverride();
+
+}  // namespace massbft
+
+#endif  // MASSBFT_COMMON_CPU_H_

@@ -1,0 +1,133 @@
+#ifndef MASSBFT_COMMON_INLINE_FUNCTION_H_
+#define MASSBFT_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace massbft {
+
+/// Move-only callable wrapper with small-buffer optimization, built for the
+/// simulator's event loop: scheduling an event must not allocate.
+///
+/// Callables up to `InlineBytes` (with max_align_t-compatible alignment and
+/// a non-throwing move constructor) are stored inline; anything larger
+/// falls back to the heap, so correctness never depends on capture size —
+/// only speed does. Unlike std::function there is no copy, no target(),
+/// no allocator support: just construct, move, and invoke.
+template <typename Signature, size_t InlineBytes = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (kFitsInline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True if the held callable lives in the inline buffer (test probe).
+  bool is_inline() const { return vtable_ != nullptr && vtable_->is_inline; }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable from `src` storage into `dst` storage
+    /// and destroys the source.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+    bool is_inline;
+  };
+
+  template <typename D>
+  static constexpr bool kFitsInline =
+      sizeof(D) <= InlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* InlineTarget(void* s) {
+    return std::launder(static_cast<D*>(s));
+  }
+  template <typename D>
+  static D** HeapSlot(void* s) {
+    return std::launder(static_cast<D**>(s));
+  }
+
+  template <typename D>
+  static constexpr VTable kInlineVTable = {
+      [](void* s, Args&&... args) -> R {
+        return (*InlineTarget<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) {
+        D* from = InlineTarget<D>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { InlineTarget<D>(s)->~D(); },
+      /*is_inline=*/true,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVTable = {
+      [](void* s, Args&&... args) -> R {
+        return (**HeapSlot<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) { ::new (dst) D*(*HeapSlot<D>(src)); },
+      [](void* s) { delete *HeapSlot<D>(s); },
+      /*is_inline=*/false,
+  };
+
+  void MoveFrom(InlineFunction& other) noexcept {
+    if (other.vtable_ == nullptr) return;
+    other.vtable_->relocate(other.storage_, storage_);
+    vtable_ = other.vtable_;
+    other.vtable_ = nullptr;
+  }
+
+  void Reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_COMMON_INLINE_FUNCTION_H_

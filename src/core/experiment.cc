@@ -1,6 +1,7 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -38,6 +39,9 @@ std::string ExperimentResult::ToJson() const {
   w.Member("entries_proposed", entries_proposed);
   w.Member("wan_bytes_per_entry", wan_bytes_per_entry);
   w.Member("sim_events", sim_events);
+  w.Member("wall_ms", wall_ms);
+  w.Member("events_per_sec", events_per_sec);
+  w.Member("sim_time_ratio", sim_time_ratio);
   w.Key("phases");
   w.BeginObject();
   w.Member("batching_ms", phases.batching_ms);
@@ -185,20 +189,27 @@ void Experiment::SubmitNext(size_t client_index) {
   GroupNode* leader = node(NodeId{static_cast<uint16_t>(client.group), 0});
   if (leader == nullptr || leader->crashed()) return;  // Group down.
 
-  Transaction txn;
-  txn.client = client.id;
-  txn.id = (static_cast<uint64_t>(client.id) << 32) | client.next_txn++;
-  txn.submit_time = sim_->Now();
-  txn.payload = workload_->NextPayload(client.rng);
+  SimTime submit_time = sim_->Now();
   if (ctx_->telemetry->tracing()) {
     ctx_->telemetry->trace().RecordInstant(
         obs::Telemetry::ClientTrack(client.group), "client", "submit",
-        txn.submit_time,
+        submit_time,
         obs::TraceArgs{{{"client", static_cast<double>(client.id)}}});
   }
-  // Client -> leader half round trip.
-  sim_->Schedule(config_.client_rtt / 2, [this, leader, txn = std::move(txn)] {
-    if (!leader->crashed()) leader->SubmitClientTxn(txn);
+  // Client -> leader half round trip. The transaction is materialized at
+  // delivery: the capture stays a 24-byte POD (inline in the event heap),
+  // and since each closed-loop client draws from its own forked rng, the
+  // payload bytes are identical either way.
+  sim_->Schedule(config_.client_rtt / 2, [this, client_index, submit_time] {
+    Client& c = clients_[client_index];
+    GroupNode* l = node(NodeId{static_cast<uint16_t>(c.group), 0});
+    if (l == nullptr || l->crashed()) return;
+    Transaction txn;
+    txn.client = c.id;
+    txn.id = (static_cast<uint64_t>(c.id) << 32) | c.next_txn++;
+    txn.submit_time = submit_time;
+    txn.payload = workload_->NextPayload(c.rng);
+    l->SubmitClientTxn(txn);
   });
 }
 
@@ -218,7 +229,13 @@ void Experiment::OnTxnCommitted(const Transaction& txn, SimTime commit_time) {
 
 ExperimentResult Experiment::Run() {
   MASSBFT_CHECK(setup_done_);
+  uint64_t events_before = sim_->events_processed();
+  auto wall_start = std::chrono::steady_clock::now();
   sim_->RunUntil(config_.duration);
+  double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
 
   // End-of-run per-link WAN uplink utilization (fraction of the link's
   // capacity the node's sends consumed over the whole run).
@@ -278,6 +295,13 @@ ExperimentResult Experiment::Run() {
                 static_cast<double>(result.entries_proposed);
   result.timeline = metrics_->Timeline();
   result.sim_events = sim_->events_processed();
+  result.wall_ms = wall_ms;
+  if (wall_ms > 0) {
+    result.events_per_sec =
+        static_cast<double>(sim_->events_processed() - events_before) *
+        1000.0 / wall_ms;
+    result.sim_time_ratio = SimToSeconds(config_.duration) * 1000.0 / wall_ms;
+  }
   return result;
 }
 

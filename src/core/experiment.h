@@ -76,6 +76,12 @@ struct ExperimentResult {
   PhaseStats phases;
   std::vector<MetricsCollector::TimelinePoint> timeline;
   uint64_t sim_events = 0;
+  /// Host wall-clock cost of the Run() event loop (not simulated time).
+  double wall_ms = 0;
+  /// Simulator events retired per wall-clock second (event-loop speed).
+  double events_per_sec = 0;
+  /// Simulated seconds per wall-clock second (>1 = faster than real time).
+  double sim_time_ratio = 0;
 
   std::string Summary() const;
   /// Machine-readable dump of every field above (one JSON object).

@@ -16,10 +16,32 @@ using Digest = std::array<uint8_t, 32>;
 /// Renders a digest as lowercase hex.
 std::string DigestToHex(const Digest& d);
 
+namespace internal_sha256 {
+
+/// Block-compression kernels, exposed so tests can cross-check the SHA-NI
+/// path against the portable one on identical inputs. Each consumes
+/// `n_blocks` 64-byte blocks starting at `data` and updates `state` in
+/// place.
+void ProcessBlocksScalar(uint32_t state[8], const uint8_t* data,
+                         size_t n_blocks);
+#if defined(__x86_64__) || defined(__i386__)
+void ProcessBlocksShaNi(uint32_t state[8], const uint8_t* data,
+                        size_t n_blocks);
+#endif
+
+}  // namespace internal_sha256
+
 /// Incremental SHA-256 (FIPS 180-4), implemented from scratch — validated
 /// against the NIST known-answer vectors in tests/crypto_test.cc.
+///
+/// The compression function is selected once per process: x86 SHA-NI when
+/// the CPU supports it, otherwise a portable scalar implementation with an
+/// unrolled message schedule. MASSBFT_SIMD=scalar forces the portable path
+/// (see common/cpu.h); the decision is logged at startup.
 class Sha256 {
  public:
+  enum class Impl { kScalar, kShaNi };
+
   Sha256() { Reset(); }
 
   void Reset();
@@ -40,9 +62,16 @@ class Sha256 {
     return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
 
- private:
-  void ProcessBlock(const uint8_t* block);
+  /// Compression implementation the process dispatched to.
+  static Impl ActiveImpl();
+  static const char* ImplName(Impl impl);
 
+  /// Test hooks: pin the compression function regardless of CPU features /
+  /// MASSBFT_SIMD, and undo the pin. Not thread-safe; tests only.
+  static void ForceImplForTest(Impl impl);
+  static void RestoreImplDispatch();
+
+ private:
   uint32_t state_[8];
   uint64_t bit_count_;
   uint8_t buffer_[64];

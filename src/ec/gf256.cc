@@ -1,8 +1,226 @@
 #include "ec/gf256.h"
 
 #include <cstddef>
+#include <cstring>
+
+#include "common/cpu.h"
+#include "common/logging.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
 
 namespace massbft {
+
+namespace internal_gf256 {
+
+namespace {
+
+/// Precomputed products, built once on first use:
+///  - full[c][v] = c * v, the 64 KiB table the scalar row kernel indexes
+///    (hoisted out of the old per-call 256-entry rebuild);
+///  - nib_lo[c][v] = c * v and nib_hi[c][v] = c * (v << 4) for v in 0..15,
+///    the 16-byte split-nibble tables PSHUFB kernels combine as
+///    c*x = nib_lo[c][x & 0xF] ^ nib_hi[c][x >> 4].
+struct MulTables {
+  alignas(32) uint8_t full[256][256];
+  alignas(16) uint8_t nib_lo[256][16];
+  alignas(16) uint8_t nib_hi[256][16];
+
+  MulTables() {
+    for (int c = 0; c < 256; ++c) {
+      for (int v = 0; v < 256; ++v)
+        full[c][v] = Gf256::Mul(static_cast<uint8_t>(c),
+                                static_cast<uint8_t>(v));
+      for (int v = 0; v < 16; ++v) {
+        nib_lo[c][v] = full[c][v];
+        nib_hi[c][v] = full[c][v << 4];
+      }
+    }
+  }
+};
+
+const MulTables& GetMulTables() {
+  static const MulTables tables;
+  return tables;
+}
+
+}  // namespace
+
+void MulAddRowScalar(uint8_t c, const uint8_t* in, uint8_t* out, size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) out[i] ^= in[i];
+    return;
+  }
+  const uint8_t* row = GetMulTables().full[c];
+  for (size_t i = 0; i < len; ++i) out[i] ^= row[in[i]];
+}
+
+void MulRowScalar(uint8_t c, const uint8_t* in, uint8_t* out, size_t len) {
+  if (c == 0) {
+    std::memset(out, 0, len);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(out, in, len);
+    return;
+  }
+  const uint8_t* row = GetMulTables().full[c];
+  for (size_t i = 0; i < len; ++i) out[i] = row[in[i]];
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+__attribute__((target("ssse3"))) void MulAddRowSsse3(uint8_t c,
+                                                     const uint8_t* in,
+                                                     uint8_t* out,
+                                                     size_t len) {
+  const MulTables& t = GetMulTables();
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i xl = _mm_and_si128(x, mask);
+    __m128i xh = _mm_and_si128(_mm_srli_epi64(x, 4), mask);
+    __m128i prod =
+        _mm_xor_si128(_mm_shuffle_epi8(lo, xl), _mm_shuffle_epi8(hi, xh));
+    __m128i o = _mm_loadu_si128(reinterpret_cast<const __m128i*>(out + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_xor_si128(o, prod));
+  }
+  MulAddRowScalar(c, in + i, out + i, len - i);
+}
+
+__attribute__((target("ssse3"))) void MulRowSsse3(uint8_t c, const uint8_t* in,
+                                                  uint8_t* out, size_t len) {
+  const MulTables& t = GetMulTables();
+  const __m128i lo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c]));
+  const __m128i hi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c]));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    __m128i xl = _mm_and_si128(x, mask);
+    __m128i xh = _mm_and_si128(_mm_srli_epi64(x, 4), mask);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(out + i),
+        _mm_xor_si128(_mm_shuffle_epi8(lo, xl), _mm_shuffle_epi8(hi, xh)));
+  }
+  MulRowScalar(c, in + i, out + i, len - i);
+}
+
+__attribute__((target("avx2"))) void MulAddRowAvx2(uint8_t c,
+                                                   const uint8_t* in,
+                                                   uint8_t* out, size_t len) {
+  const MulTables& t = GetMulTables();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i xl = _mm256_and_si256(x, mask);
+    __m256i xh = _mm256_and_si256(_mm256_srli_epi64(x, 4), mask);
+    __m256i prod = _mm256_xor_si256(_mm256_shuffle_epi8(lo, xl),
+                                    _mm256_shuffle_epi8(hi, xh));
+    __m256i o = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(o, prod));
+  }
+  MulAddRowSsse3(c, in + i, out + i, len - i);
+}
+
+__attribute__((target("avx2"))) void MulRowAvx2(uint8_t c, const uint8_t* in,
+                                                uint8_t* out, size_t len) {
+  const MulTables& t = GetMulTables();
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_lo[c])));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(t.nib_hi[c])));
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    __m256i xl = _mm256_and_si256(x, mask);
+    __m256i xh = _mm256_and_si256(_mm256_srli_epi64(x, 4), mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_xor_si256(_mm256_shuffle_epi8(lo, xl),
+                                         _mm256_shuffle_epi8(hi, xh)));
+  }
+  MulRowSsse3(c, in + i, out + i, len - i);
+}
+
+#endif  // x86
+
+namespace {
+
+using RowFn = void (*)(uint8_t, const uint8_t*, uint8_t*, size_t);
+
+struct Dispatch {
+  Gf256::Kernel kernel = Gf256::Kernel::kScalar;
+  RowFn mul_add_row = &MulAddRowScalar;
+  RowFn mul_row = &MulRowScalar;
+};
+
+Dispatch DispatchFor(Gf256::Kernel kernel) {
+  Dispatch d;
+  d.kernel = kernel;
+  switch (kernel) {
+    case Gf256::Kernel::kScalar:
+      break;
+#if defined(__x86_64__) || defined(__i386__)
+    case Gf256::Kernel::kSsse3:
+      d.mul_add_row = &MulAddRowSsse3;
+      d.mul_row = &MulRowSsse3;
+      break;
+    case Gf256::Kernel::kAvx2:
+      d.mul_add_row = &MulAddRowAvx2;
+      d.mul_row = &MulRowAvx2;
+      break;
+#else
+    default:
+      break;
+#endif
+  }
+  return d;
+}
+
+Gf256::Kernel ResolveKernel(const std::string& override_mode,
+                            const CpuFeatures& cpu) {
+  Gf256::Kernel best = Gf256::Kernel::kScalar;
+  if (cpu.ssse3) best = Gf256::Kernel::kSsse3;
+  if (cpu.avx2) best = Gf256::Kernel::kAvx2;
+  if (override_mode == "scalar") return Gf256::Kernel::kScalar;
+  if (override_mode == "ssse3" && cpu.ssse3) return Gf256::Kernel::kSsse3;
+  if (override_mode == "avx2" && cpu.avx2) return Gf256::Kernel::kAvx2;
+  return best;  // "", "auto", or an unsatisfiable request.
+}
+
+Dispatch& MutableDispatch() {
+  static Dispatch dispatch = [] {
+    Gf256::Kernel kernel = ResolveKernel(SimdOverride(), GetCpuFeatures());
+    MASSBFT_LOG(kInfo) << "gf256: dispatching row kernels to "
+                       << Gf256::KernelName(kernel)
+                       << (SimdOverride().empty()
+                               ? ""
+                               : " (MASSBFT_SIMD=" + SimdOverride() + ")");
+    return DispatchFor(kernel);
+  }();
+  return dispatch;
+}
+
+}  // namespace
+
+}  // namespace internal_gf256
 
 uint8_t Gf256::Pow(uint8_t a, unsigned n) {
   uint8_t result = 1;
@@ -16,15 +234,42 @@ uint8_t Gf256::Pow(uint8_t a, unsigned n) {
 }
 
 void Gf256::MulAddRow(uint8_t c, const uint8_t* in, uint8_t* out, size_t len) {
-  if (c == 0) return;
-  if (c == 1) {
-    for (size_t i = 0; i < len; ++i) out[i] ^= in[i];
+  if (c == 0 || len == 0) return;
+  internal_gf256::MutableDispatch().mul_add_row(c, in, out, len);
+}
+
+void Gf256::MulRow(uint8_t c, const uint8_t* in, uint8_t* out, size_t len) {
+  if (len == 0) return;
+  if (c == 0) {
+    std::memset(out, 0, len);
     return;
   }
-  // Per-coefficient 256-entry product table amortizes the log/exp lookups.
-  uint8_t table[256];
-  for (int v = 0; v < 256; ++v) table[v] = Mul(c, static_cast<uint8_t>(v));
-  for (size_t i = 0; i < len; ++i) out[i] ^= table[in[i]];
+  internal_gf256::MutableDispatch().mul_row(c, in, out, len);
+}
+
+Gf256::Kernel Gf256::ActiveKernel() {
+  return internal_gf256::MutableDispatch().kernel;
+}
+
+const char* Gf256::KernelName(Kernel k) {
+  switch (k) {
+    case Kernel::kScalar:
+      return "scalar";
+    case Kernel::kSsse3:
+      return "ssse3";
+    case Kernel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void Gf256::ForceKernelForTest(Kernel k) {
+  internal_gf256::MutableDispatch() = internal_gf256::DispatchFor(k);
+}
+
+void Gf256::RestoreKernelDispatch() {
+  internal_gf256::MutableDispatch() = internal_gf256::DispatchFor(
+      internal_gf256::ResolveKernel(SimdOverride(), GetCpuFeatures()));
 }
 
 }  // namespace massbft

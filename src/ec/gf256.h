@@ -30,15 +30,36 @@ constexpr Tables MakeTables() {
 
 inline constexpr Tables kTables = MakeTables();
 
+// Row-kernel implementations, exposed so the property tests can cross-check
+// every tier against the scalar oracle regardless of what the dispatcher
+// picked. The SSSE3/AVX2 variants must only be called when the matching
+// CpuFeatures bit is set (they are compiled with target attributes and
+// execute illegal instructions otherwise).
+void MulAddRowScalar(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+void MulRowScalar(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+#if defined(__x86_64__) || defined(__i386__)
+void MulAddRowSsse3(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+void MulRowSsse3(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+void MulAddRowAvx2(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+void MulRowAvx2(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+#endif
+
 }  // namespace internal_gf256
 
 /// Arithmetic in GF(2^8) with the AES/Reed-Solomon polynomial
 /// x^8 + x^4 + x^3 + x^2 + 1 (0x11D), generator 2 — the same field used by
 /// klauspost/reedsolomon, which the paper's implementation relies on.
-/// Multiplication/division go through compile-time log/exp tables.
+/// Single-element multiplication/division go through compile-time log/exp
+/// tables; the row kernels (the RS coding inner loop) use a precomputed
+/// 64 KiB product table and, on x86, SSSE3/AVX2 PSHUFB split-nibble
+/// implementations selected once at startup by runtime CPU detection
+/// (override with MASSBFT_SIMD=scalar|ssse3|avx2).
 class Gf256 {
  public:
   static constexpr int kFieldSize = 256;
+
+  /// Which row-kernel tier the dispatcher selected.
+  enum class Kernel { kScalar, kSsse3, kAvx2 };
 
   static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
   static uint8_t Sub(uint8_t a, uint8_t b) { return a ^ b; }
@@ -67,6 +88,19 @@ class Gf256 {
   /// out[i] ^= c * in[i] for i in [0, len) — the inner loop of RS coding.
   static void MulAddRow(uint8_t c, const uint8_t* in, uint8_t* out,
                         size_t len);
+
+  /// out[i] = c * in[i] for i in [0, len) (initializing form; lets encoders
+  /// skip a separate zero-fill + xor pass on the first input row).
+  static void MulRow(uint8_t c, const uint8_t* in, uint8_t* out, size_t len);
+
+  /// The kernel tier MulAddRow/MulRow currently dispatch to.
+  static Kernel ActiveKernel();
+  static const char* KernelName(Kernel k);
+
+  /// Test/bench hook: pins the dispatcher to `k` (must be supported by the
+  /// CPU). Call RestoreKernelDispatch() to return to auto-detection.
+  static void ForceKernelForTest(Kernel k);
+  static void RestoreKernelDispatch();
 
  private:
   static constexpr const std::array<uint8_t, 512>& Exp() {

@@ -1,10 +1,24 @@
 #include "ec/reed_solomon.h"
 
+#include <algorithm>
 #include <cstring>
+#include <map>
+#include <mutex>
+#include <utility>
 
 #include "ec/gf256.h"
 
 namespace massbft {
+
+namespace {
+
+/// Bytes of each input shard processed per blocking step of the coding
+/// loops. One input stripe plus the corresponding output stripes stay
+/// resident in L1/L2 while every output row consumes the stripe, instead of
+/// re-streaming whole shards from memory once per output row.
+constexpr size_t kCodingStripe = 4096;
+
+}  // namespace
 
 Result<ReedSolomon> ReedSolomon::Create(int n_data, int n_parity) {
   if (n_data < 1) return Status::InvalidArgument("n_data must be >= 1");
@@ -33,6 +47,21 @@ Result<ReedSolomon> ReedSolomon::Create(int n_data, int n_parity) {
   return ReedSolomon(n_data, n_parity, systematic.SubRows(parity_idx));
 }
 
+Result<std::shared_ptr<const ReedSolomon>> ReedSolomon::Shared(int n_data,
+                                                               int n_parity) {
+  static std::mutex mutex;
+  static std::map<std::pair<int, int>, std::shared_ptr<const ReedSolomon>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(n_data, n_parity);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  MASSBFT_ASSIGN_OR_RETURN(ReedSolomon rs, Create(n_data, n_parity));
+  auto shared = std::make_shared<const ReedSolomon>(std::move(rs));
+  cache.emplace(key, shared);
+  return shared;
+}
+
 void ReedSolomon::EncodingRow(int r, uint8_t* out) const {
   std::memset(out, 0, n_data_);
   if (r < n_data_) {
@@ -53,12 +82,24 @@ Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
     if (s.size() != shard_size)
       return Status::InvalidArgument("shards must be equally sized");
 
+  // Stripe-blocked: each input stripe is consumed by every parity row
+  // while it is cache-hot (d == 0 uses the initializing MulRow form, so the
+  // zero-filled allocation is never read back).
   std::vector<Bytes> parity(n_parity_, Bytes(shard_size, 0));
-  for (int p = 0; p < n_parity_; ++p) {
-    const uint8_t* row = parity_rows_.Row(p);
-    for (int d = 0; d < n_data_; ++d)
-      Gf256::MulAddRow(row[d], data_shards[d].data(), parity[p].data(),
-                       shard_size);
+  for (size_t off = 0; off < shard_size; off += kCodingStripe) {
+    size_t n = std::min(kCodingStripe, shard_size - off);
+    for (int d = 0; d < n_data_; ++d) {
+      const uint8_t* in = data_shards[d].data() + off;
+      for (int p = 0; p < n_parity_; ++p) {
+        uint8_t c = parity_rows_.Row(p)[d];
+        uint8_t* out = parity[p].data() + off;
+        if (d == 0) {
+          Gf256::MulRow(c, in, out, n);
+        } else {
+          Gf256::MulAddRow(c, in, out, n);
+        }
+      }
+    }
   }
   return parity;
 }
@@ -66,18 +107,38 @@ Result<std::vector<Bytes>> ReedSolomon::EncodeParity(
 Result<std::vector<Bytes>> ReedSolomon::EncodeMessage(
     const Bytes& message) const {
   size_t shard_size = ShardSizeFor(message.size());
-  // Frame: u64 little-endian length, then payload, then zero padding.
-  Bytes framed(static_cast<size_t>(n_data_) * shard_size, 0);
+  // Frame: u64 little-endian length, then payload, then zero padding. Each
+  // data shard is carved directly out of this virtual stream — no staging
+  // copy of the whole framed buffer.
+  uint8_t header[8];
   uint64_t len = message.size();
-  for (int i = 0; i < 8; ++i)
-    framed[i] = static_cast<uint8_t>(len >> (8 * i));
-  std::memcpy(framed.data() + 8, message.data(), message.size());
+  for (int i = 0; i < 8; ++i) header[i] = static_cast<uint8_t>(len >> (8 * i));
 
   std::vector<Bytes> shards;
   shards.reserve(n_total());
-  for (int d = 0; d < n_data_; ++d)
-    shards.emplace_back(framed.begin() + static_cast<long>(d) * shard_size,
-                        framed.begin() + static_cast<long>(d + 1) * shard_size);
+  for (int d = 0; d < n_data_; ++d) {
+    size_t off = static_cast<size_t>(d) * shard_size;  // Into the stream.
+    size_t end = off + shard_size;
+    if (off >= 8 && end <= 8 + message.size()) {
+      // Interior shard: a single slice of the message, no zero-fill pass.
+      auto first = message.begin() + static_cast<long>(off - 8);
+      shards.emplace_back(first, first + static_cast<long>(shard_size));
+      continue;
+    }
+    Bytes shard;
+    shard.reserve(shard_size);
+    if (off < 8)
+      shard.insert(shard.end(), header + off,
+                   header + std::min<size_t>(8, end));
+    size_t mbegin = off > 8 ? off - 8 : 0;  // Into the message.
+    if (mbegin < message.size()) {
+      size_t n = std::min(message.size() - mbegin, shard_size - shard.size());
+      auto first = message.begin() + static_cast<long>(mbegin);
+      shard.insert(shard.end(), first, first + static_cast<long>(n));
+    }
+    shard.resize(shard_size, 0);  // Zero padding tail only.
+    shards.push_back(std::move(shard));
+  }
   MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> parity, EncodeParity(shards));
   for (Bytes& p : parity) shards.push_back(std::move(p));
   return shards;
@@ -126,12 +187,23 @@ Result<std::vector<Bytes>> ReedSolomon::ReconstructData(
   for (int r = 0; r < n_data_; ++r) EncodingRow(present[r], sub.MutableRow(r));
   MASSBFT_ASSIGN_OR_RETURN(GfMatrix inv, sub.Invert());
 
-  for (int d = 0; d < n_data_; ++d) {
-    data[d].assign(shard_size, 0);
-    const uint8_t* row = inv.Row(d);
-    for (int k = 0; k < n_data_; ++k)
-      Gf256::MulAddRow(row[k], shards[present[k]]->data(), data[d].data(),
-                       shard_size);
+  for (int d = 0; d < n_data_; ++d) data[d].assign(shard_size, 0);
+  // Same stripe blocking as EncodeParity: every output row consumes each
+  // present-shard stripe while it is cache-hot.
+  for (size_t off = 0; off < shard_size; off += kCodingStripe) {
+    size_t n = std::min(kCodingStripe, shard_size - off);
+    for (int k = 0; k < n_data_; ++k) {
+      const uint8_t* in = shards[present[k]]->data() + off;
+      for (int d = 0; d < n_data_; ++d) {
+        uint8_t c = inv.Row(d)[k];
+        uint8_t* out = data[d].data() + off;
+        if (k == 0) {
+          Gf256::MulRow(c, in, out, n);
+        } else {
+          Gf256::MulAddRow(c, in, out, n);
+        }
+      }
+    }
   }
   return data;
 }
@@ -140,14 +212,15 @@ Result<Bytes> ReedSolomon::DecodeMessage(
     const std::vector<std::optional<Bytes>>& shards) const {
   MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> data, ReconstructData(shards));
   size_t shard_size = data[0].size();
-  if (shard_size < 8 && n_data_ == 1)
-    return Status::Corruption("shard too small for length header");
+  // Uniform guard: the reconstructed framing (shard_size * n_data bytes)
+  // must hold the 8-byte length header regardless of the shard count.
+  if (shard_size * data.size() < 8)
+    return Status::Corruption("shards too small for length header");
 
   // Reassemble the framed buffer and strip the header.
   Bytes framed;
   framed.reserve(shard_size * data.size());
   for (const Bytes& d : data) framed.insert(framed.end(), d.begin(), d.end());
-  if (framed.size() < 8) return Status::Corruption("framed buffer too small");
   uint64_t len = 0;
   for (int i = 0; i < 8; ++i)
     len |= static_cast<uint64_t>(framed[i]) << (8 * i);

@@ -2,6 +2,7 @@
 #define MASSBFT_EC_REED_SOLOMON_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -31,6 +32,14 @@ class ReedSolomon {
   /// Creates a coder. Requires 1 <= n_data, 0 <= n_parity,
   /// n_data + n_parity <= 255.
   static Result<ReedSolomon> Create(int n_data, int n_parity);
+
+  /// Memoized Create: returns a process-wide shared coder for
+  /// (n_data, n_parity). Construction inverts a Vandermonde sub-matrix, so
+  /// per-entry callers (encode on every proposal, rebuild on every receipt)
+  /// go through this cache instead of re-deriving the coding matrix.
+  /// Thread-safe; the returned coder is immutable.
+  static Result<std::shared_ptr<const ReedSolomon>> Shared(int n_data,
+                                                           int n_parity);
 
   int n_data() const { return n_data_; }
   int n_parity() const { return n_parity_; }

@@ -29,8 +29,14 @@ Entry::Entry(uint16_t gid, uint64_t seq, std::vector<Transaction> txns)
   w.PutVarint(txns_.size());
   for (const Transaction& txn : txns_) txn.EncodeTo(&w);
   encoded_ = w.Release();
-  digest_ = Sha256::Hash(encoded_);
 }
+
+Entry::Entry(uint16_t gid, uint64_t seq, std::vector<Transaction> txns,
+             Bytes encoded)
+    : gid_(gid),
+      seq_(seq),
+      txns_(std::move(txns)),
+      encoded_(std::move(encoded)) {}
 
 Result<EntryPtr> Entry::Decode(const Bytes& encoded) {
   BinaryReader r(encoded);
@@ -49,7 +55,10 @@ Result<EntryPtr> Entry::Decode(const Bytes& encoded) {
     txns.push_back(std::move(txn));
   }
   if (!r.AtEnd()) return Status::Corruption("trailing bytes after entry");
-  return std::make_shared<const Entry>(gid, seq, std::move(txns));
+  // Adopt the already-validated wire bytes as the canonical encoding; the
+  // writer side always emits canonical varints, so re-encoding would
+  // reproduce `encoded` byte for byte.
+  return std::make_shared<const Entry>(gid, seq, std::move(txns), encoded);
 }
 
 void Certificate::EncodeTo(BinaryWriter* w) const {
@@ -82,11 +91,10 @@ Result<Certificate> Certificate::DecodeFrom(BinaryReader* r) {
 bool Certificate::Verify(const KeyRegistry& registry, int quorum) const {
   std::set<uint32_t> seen;
   int valid = 0;
-  Bytes signed_payload(digest.begin(), digest.end());
   for (const auto& [node, sig] : sigs) {
     if (node.group != gid) return false;  // Foreign signer: malformed.
     if (!seen.insert(node.Packed()).second) continue;  // Duplicate.
-    if (registry.Verify(node, signed_payload, sig)) ++valid;
+    if (registry.Verify(node, digest.data(), digest.size(), sig)) ++valid;
   }
   return valid >= quorum;
 }

@@ -39,6 +39,13 @@ class Entry {
  public:
   Entry(uint16_t gid, uint64_t seq, std::vector<Transaction> txns);
 
+  /// Decode-path constructor: adopts `encoded` as the canonical
+  /// serialization instead of re-encoding the parsed fields. The caller
+  /// (Entry::Decode) guarantees the bytes parse back to exactly these
+  /// fields.
+  Entry(uint16_t gid, uint64_t seq, std::vector<Transaction> txns,
+        Bytes encoded);
+
   uint16_t gid() const { return gid_; }
   uint64_t seq() const { return seq_; }
   const std::vector<Transaction>& txns() const { return txns_; }
@@ -49,7 +56,16 @@ class Entry {
   size_t ByteSize() const { return encoded_.size(); }
 
   /// SHA-256 of the canonical encoding — the value certificates sign.
-  const Digest& digest() const { return digest_; }
+  /// Memoized on first use, so the N nodes sharing this immutable entry
+  /// hash it once instead of once per verifier. (Lazy init is not
+  /// thread-safe; the simulation is single-threaded.)
+  const Digest& digest() const {
+    if (!digest_valid_) {
+      digest_ = Sha256::Hash(encoded_);
+      digest_valid_ = true;
+    }
+    return digest_;
+  }
 
   static Result<std::shared_ptr<const Entry>> Decode(const Bytes& encoded);
 
@@ -58,7 +74,8 @@ class Entry {
   uint64_t seq_;
   std::vector<Transaction> txns_;
   Bytes encoded_;
-  Digest digest_;
+  mutable Digest digest_{};
+  mutable bool digest_valid_ = false;
 };
 
 using EntryPtr = std::shared_ptr<const Entry>;

@@ -8,10 +8,13 @@ namespace massbft {
 
 Result<EncodedEntry> EncodeBytesForPlan(const Bytes& payload,
                                         const TransferPlan& plan) {
+  // Shared(): the coding matrix for a (n_data, n_parity) pair is derived
+  // once per process, not once per entry.
   MASSBFT_ASSIGN_OR_RETURN(
-      ReedSolomon rs, ReedSolomon::Create(plan.n_data(), plan.n_parity()));
+      std::shared_ptr<const ReedSolomon> rs,
+      ReedSolomon::Shared(plan.n_data(), plan.n_parity()));
   MASSBFT_ASSIGN_OR_RETURN(std::vector<Bytes> shards,
-                           rs.EncodeMessage(payload));
+                           rs->EncodeMessage(payload));
   MASSBFT_ASSIGN_OR_RETURN(MerkleTree tree, MerkleTree::Build(shards));
 
   EncodedEntry encoded;

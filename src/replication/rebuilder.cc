@@ -76,13 +76,13 @@ EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
 EntryRebuilder::AddResult EntryRebuilder::TryRebuild(const Digest& root,
                                                      Bucket& bucket,
                                                      const Certificate& cert) {
-  auto rs = ReedSolomon::Create(config_.n_data,
+  auto rs = ReedSolomon::Shared(config_.n_data,
                                 config_.n_total - config_.n_data);
   MASSBFT_CHECK(rs.ok());
 
   std::vector<std::optional<Bytes>> shards(config_.n_total);
   for (const auto& [id, chunk] : bucket.chunks) shards[id] = chunk.first;
-  auto decoded = rs->DecodeMessage(shards);
+  auto decoded = (*rs)->DecodeMessage(shards);
 
   bool valid = false;
   EntryPtr candidate;

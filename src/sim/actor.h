@@ -46,8 +46,11 @@ class CpuAccount {
     return busy_until_;
   }
 
-  /// Charges and schedules `fn` at completion.
-  void ChargeThen(SimTime cost, std::function<void()> fn) {
+  /// Charges and schedules `fn` at completion. Templated so the callable
+  /// reaches the event heap directly (one InlineFunction construction, no
+  /// intermediate std::function allocation).
+  template <typename F>
+  void ChargeThen(SimTime cost, F fn) {
     sim_->ScheduleAt(Charge(cost), std::move(fn));
   }
 
@@ -120,9 +123,12 @@ class Actor {
     network_->SendLan(id_, dst, std::move(message));
   }
   /// Schedules a local timer; the callback is dropped if the node has
-  /// crashed by the time it fires.
-  void After(SimTime delay, std::function<void()> fn) {
-    sim_->Schedule(delay, [this, fn = std::move(fn)]() {
+  /// crashed by the time it fires. Templated so the crash-guard wrapper
+  /// captures the concrete callable: captures up to 40 bytes keep the
+  /// whole event inside the heap record (see InlineFunction).
+  template <typename F>
+  void After(SimTime delay, F fn) {
+    sim_->Schedule(delay, [this, fn = std::move(fn)]() mutable {
       if (!crashed_) fn();
     });
   }

@@ -6,16 +6,17 @@ namespace massbft {
 
 bool Simulator::Step() {
   if (heap_.empty()) return false;
-  Callback fn = std::move(heap_.top().fn);
-  now_ = heap_.top().time;
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = event.time;
   ++events_processed_;
-  fn();
+  event.fn();
   return true;
 }
 
 void Simulator::RunUntil(SimTime until) {
-  while (!heap_.empty() && heap_.top().time <= until) Step();
+  while (!heap_.empty() && heap_.front().time <= until) Step();
   if (now_ < until) now_ = until;
 }
 

@@ -1,11 +1,11 @@
 #ifndef MASSBFT_SIM_SIMULATOR_H_
 #define MASSBFT_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/inline_function.h"
 #include "sim/time.h"
 
 namespace massbft {
@@ -13,15 +13,25 @@ namespace massbft {
 /// Discrete-event simulator: a monotonic clock plus a min-heap of callbacks.
 /// Events at equal timestamps fire in scheduling order (FIFO), which keeps
 /// whole-cluster runs deterministic for a fixed seed.
+///
+/// The hot loop is allocation-free: callbacks are InlineFunction (captures
+/// up to 48 bytes stay in the event record itself — every scheduling lambda
+/// in the protocol stack fits), and the heap is an explicit
+/// push_heap/pop_heap vector that is reserved up front and only grows at
+/// power-of-two reallocation points.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<void()>;
 
-  Simulator() = default;
+  Simulator() { heap_.reserve(kInitialHeapCapacity); }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
+
+  /// Pre-sizes the event heap (e.g. to the expected in-flight event count
+  /// of a large experiment).
+  void Reserve(size_t events) { heap_.reserve(events); }
 
   /// Schedules `fn` to run `delay` after the current time (delay >= 0;
   /// negative delays are clamped to 0).
@@ -32,7 +42,8 @@ class Simulator {
   /// Schedules `fn` at absolute time `t` (clamped to Now()).
   void ScheduleAt(SimTime t, Callback fn) {
     if (t < now_) t = now_;
-    heap_.push(Event{t, next_seq_++, std::move(fn)});
+    heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), EventAfter{});
   }
 
   /// Runs one event; returns false if the queue is empty.
@@ -50,21 +61,27 @@ class Simulator {
   size_t pending_events() const { return heap_.size(); }
 
  private:
+  static constexpr size_t kInitialHeapCapacity = 1024;
+
   struct Event {
     SimTime time;
     uint64_t seq;
-    mutable Callback fn;  // Moved out when popped.
+    Callback fn;
+  };
 
-    bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Heap comparator: true if `a` fires after `b` (min-heap on time, FIFO
+  /// on the scheduling sequence number for ties).
+  struct EventAfter {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  std::vector<Event> heap_;
 };
 
 }  // namespace massbft

@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/codec.h"
+#include "common/inline_function.h"
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
@@ -322,6 +326,81 @@ TEST(LoggingTest, MacroBindsCorrectlyInUnbracedIf) {
 #pragma GCC diagnostic pop
   std::string captured = testing::internal::GetCapturedStderr();
   EXPECT_EQ(captured.find("must not appear"), std::string::npos);
+}
+
+// ------------------------------------------------------- InlineFunction
+
+TEST(InlineFunctionTest, InvokesAndReturnsValues) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_TRUE(static_cast<bool>(add));
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, DefaultConstructedIsEmpty) {
+  InlineFunction<void()> fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, SmallCapturesStayInline) {
+  int a = 1, b = 2, c = 3, d = 4;  // 4 ints + padding, well under 48 bytes.
+  InlineFunction<int()> fn = [a, b, c, d] { return a + b + c + d; };
+  EXPECT_TRUE(fn.is_inline());
+  EXPECT_EQ(fn(), 10);
+}
+
+TEST(InlineFunctionTest, LargeCapturesFallBackToHeapAndStillWork) {
+  std::array<uint64_t, 16> big{};  // 128 bytes, over the 48-byte buffer.
+  big[0] = 7;
+  big[15] = 35;
+  InlineFunction<uint64_t()> fn = [big] { return big[0] + big[15]; };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 42u);
+}
+
+TEST(InlineFunctionTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  InlineFunction<void()> fn = [counter] { ++*counter; };
+  EXPECT_TRUE(fn.is_inline());
+  InlineFunction<void()> moved = std::move(fn);
+  EXPECT_FALSE(static_cast<bool>(fn));  // NOLINT(bugprone-use-after-move)
+  moved();
+  EXPECT_EQ(*counter, 1);
+  InlineFunction<void()> assigned;
+  assigned = std::move(moved);
+  assigned();
+  EXPECT_EQ(*counter, 2);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  auto tracker = std::make_shared<int>(0);
+  EXPECT_EQ(tracker.use_count(), 1);
+  {
+    InlineFunction<void()> fn = [tracker] {};
+    EXPECT_EQ(tracker.use_count(), 2);
+    InlineFunction<void()> moved = std::move(fn);
+    EXPECT_EQ(tracker.use_count(), 2);  // Moved, not copied.
+  }
+  EXPECT_EQ(tracker.use_count(), 1);  // Destroyed with the wrapper.
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesSupported) {
+  auto owned = std::make_unique<int>(99);
+  InlineFunction<int()> fn = [owned = std::move(owned)] { return *owned; };
+  EXPECT_EQ(fn(), 99);
+}
+
+TEST(InlineFunctionTest, HeapFallbackMoveAndDestroy) {
+  auto tracker = std::make_shared<int>(0);
+  std::array<uint64_t, 16> pad{};
+  {
+    InlineFunction<void()> fn = [tracker, pad] { (void)pad; };
+    EXPECT_FALSE(fn.is_inline());
+    EXPECT_EQ(tracker.use_count(), 2);
+    InlineFunction<void()> moved = std::move(fn);
+    EXPECT_EQ(tracker.use_count(), 2);
+    moved();
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
 }
 
 }  // namespace

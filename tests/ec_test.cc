@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/cpu.h"
 #include "common/rng.h"
 #include "ec/gf256.h"
 #include "ec/matrix.h"
@@ -322,6 +323,123 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(10, 30, 4096),
                       std::make_tuple(40, 20, 2048),  // Fig 13a largest group
                       std::make_tuple(100, 55, 999)));
+
+// ------------------------------------------------- SIMD kernel properties
+
+using RowKernel = void (*)(uint8_t, const uint8_t*, uint8_t*, size_t);
+
+/// Cross-checks a (mul_add, mul) kernel pair against the scalar oracle on
+/// every coefficient, a spread of lengths from 0 to 4096 (exercising the
+/// vector main loops and their scalar tails), and unaligned base pointers.
+/// Sentinel bytes around the target range verify the kernels never write
+/// outside [offset, offset + len).
+void ExpectMatchesScalarOracle(RowKernel mul_add, RowKernel mul) {
+  Rng rng(0xEC);
+  std::vector<size_t> lengths = {0,  1,  15, 16, 17, 31, 32,
+                                 33, 63, 64, 65, 255, 4096};
+  for (int i = 0; i < 8; ++i)
+    lengths.push_back(static_cast<size_t>(rng.NextBelow(4097)));
+  constexpr uint8_t kSentinel = 0xA5;
+  for (size_t len : lengths) {
+    for (size_t offset : {size_t{0}, size_t{1}, size_t{3}, size_t{13}}) {
+      Bytes in(offset + len);
+      for (auto& b : in) b = static_cast<uint8_t>(rng.NextBelow(256));
+      Bytes seed(offset + len + 8, kSentinel);
+      for (size_t i = offset; i < offset + len; ++i)
+        seed[i] = static_cast<uint8_t>(rng.NextBelow(256));
+      for (int c = 0; c < 256; ++c) {
+        Bytes expected = seed;
+        Bytes actual = seed;
+        internal_gf256::MulAddRowScalar(static_cast<uint8_t>(c),
+                                        in.data() + offset,
+                                        expected.data() + offset, len);
+        mul_add(static_cast<uint8_t>(c), in.data() + offset,
+                actual.data() + offset, len);
+        ASSERT_EQ(actual, expected)
+            << "mul_add c=" << c << " len=" << len << " offset=" << offset;
+
+        expected = seed;
+        actual = seed;
+        internal_gf256::MulRowScalar(static_cast<uint8_t>(c),
+                                     in.data() + offset,
+                                     expected.data() + offset, len);
+        mul(static_cast<uint8_t>(c), in.data() + offset,
+            actual.data() + offset, len);
+        ASSERT_EQ(actual, expected)
+            << "mul c=" << c << " len=" << len << " offset=" << offset;
+      }
+    }
+  }
+}
+
+TEST(Gf256KernelTest, Ssse3MatchesScalarOracle) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (!GetCpuFeatures().ssse3) GTEST_SKIP() << "CPU lacks SSSE3";
+  ExpectMatchesScalarOracle(&internal_gf256::MulAddRowSsse3,
+                            &internal_gf256::MulRowSsse3);
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(Gf256KernelTest, Avx2MatchesScalarOracle) {
+#if defined(__x86_64__) || defined(__i386__)
+  if (!GetCpuFeatures().avx2) GTEST_SKIP() << "CPU lacks AVX2";
+  ExpectMatchesScalarOracle(&internal_gf256::MulAddRowAvx2,
+                            &internal_gf256::MulRowAvx2);
+#else
+  GTEST_SKIP() << "non-x86 build";
+#endif
+}
+
+TEST(Gf256KernelTest, ForcedScalarDispatchMatchesActiveKernel) {
+  // Whatever tier auto-detection picked, pinning the dispatcher to scalar
+  // must not change a single output byte (the MASSBFT_SIMD=scalar
+  // fallback contract).
+  Rng rng(0x5C);
+  Bytes in(1029), simd_out(1029), scalar_out(1029);
+  for (size_t i = 0; i < in.size(); ++i) {
+    in[i] = static_cast<uint8_t>(rng.NextBelow(256));
+    simd_out[i] = scalar_out[i] = static_cast<uint8_t>(rng.NextBelow(256));
+  }
+  Gf256::MulAddRow(0x8E, in.data(), simd_out.data(), in.size());
+  Gf256::ForceKernelForTest(Gf256::Kernel::kScalar);
+  EXPECT_EQ(Gf256::ActiveKernel(), Gf256::Kernel::kScalar);
+  Gf256::MulAddRow(0x8E, in.data(), scalar_out.data(), in.size());
+  Gf256::RestoreKernelDispatch();
+  EXPECT_EQ(simd_out, scalar_out);
+}
+
+TEST(ReedSolomonTest, ForcedScalarEncodeMatchesDispatched) {
+  Rng rng(0x51);
+  auto rs = ReedSolomon::Create(13, 15);
+  ASSERT_TRUE(rs.ok());
+  Bytes msg = RandomMessage(rng, 56000);
+  auto dispatched = rs->EncodeMessage(msg);
+  ASSERT_TRUE(dispatched.ok());
+  Gf256::ForceKernelForTest(Gf256::Kernel::kScalar);
+  auto scalar = rs->EncodeMessage(msg);
+  Gf256::RestoreKernelDispatch();
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*dispatched, *scalar);
+}
+
+TEST(ReedSolomonTest, TinyShardsRejectedUniformly) {
+  // Regression: the length-header guard must fire for every n_data, not
+  // just n_data == 1 — six one-byte shards frame only 4 bytes, too small
+  // for the 8-byte header.
+  auto rs = ReedSolomon::Create(4, 2);
+  ASSERT_TRUE(rs.ok());
+  std::vector<std::optional<Bytes>> shards(6);
+  for (auto& s : shards) s = Bytes{0xFF};
+  EXPECT_TRUE(rs->DecodeMessage(shards).status().IsCorruption());
+
+  auto rs1 = ReedSolomon::Create(1, 1);
+  ASSERT_TRUE(rs1.ok());
+  std::vector<std::optional<Bytes>> small(2);
+  small[0] = Bytes{1, 2, 3};
+  EXPECT_TRUE(rs1->DecodeMessage(small).status().IsCorruption());
+}
 
 }  // namespace
 }  // namespace massbft

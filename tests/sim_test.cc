@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,24 @@ TEST(SimulatorTest, NegativeDelayClampsToNow) {
     sim.Schedule(-5, [&] { EXPECT_EQ(sim.Now(), 10); });
   });
   sim.RunAll();
+}
+
+TEST(SimulatorTest, MoveOnlyAndOversizedCapturesRun) {
+  // Callbacks are InlineFunction, not std::function: move-only captures
+  // are allowed, and captures larger than the inline buffer transparently
+  // fall back to the heap.
+  Simulator sim;
+  sim.Reserve(4);
+  auto token = std::make_unique<int>(7);
+  int observed = 0;
+  sim.Schedule(1, [token = std::move(token), &observed] { observed = *token; });
+  std::array<uint64_t, 16> big{};
+  big[15] = 42;
+  uint64_t big_sum = 0;
+  sim.Schedule(2, [big, &big_sum] { big_sum = big[15]; });
+  sim.RunAll();
+  EXPECT_EQ(observed, 7);
+  EXPECT_EQ(big_sum, 42u);
 }
 
 // ---------------------------------------------------------------- Topology
