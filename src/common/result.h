@@ -13,8 +13,11 @@ namespace massbft {
 /// A Result holds either a value of T (status().ok() == true) or a non-OK
 /// Status. Accessing the value of an errored Result is a programming error
 /// (asserted in debug builds).
+/// Like Status, the class carries [[nodiscard]]: dropping a Result drops
+/// both the value and any error it may hold, so the -Werror build rejects
+/// it (DESIGN.md §11, rule D4).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites terse: `return value;` / `return Status::NotFound(...)`.
@@ -24,7 +27,7 @@ class Result {
            "Result constructed from OK status without a value");
   }
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
 
   Status status() const {
     if (ok()) return Status::OK();

@@ -27,7 +27,12 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// Value-type error carrier. Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status by
+/// value and ignores it fails the -Werror build (see DESIGN.md §11, rule
+/// D4). Intentional discards must be explicit and justified at the call
+/// site, e.g. `(void)store.Flush();  // best-effort`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,9 +68,9 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;

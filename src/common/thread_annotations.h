@@ -1,0 +1,48 @@
+#ifndef MASSBFT_COMMON_THREAD_ANNOTATIONS_H_
+#define MASSBFT_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (abseil-style macro spellings).
+/// Under clang the CI `-Wthread-safety` leg statically proves that every
+/// access to a MASSBFT_GUARDED_BY(mu) member happens with `mu` held; under
+/// GCC the macros expand to nothing. The simulation core is single-threaded
+/// by design, so the only real mutexes are process-wide memo caches (e.g.
+/// the Reed-Solomon factory cache) — exactly the places where an unguarded
+/// access would be a silent data race in a future multi-threaded driver.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define MASSBFT_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MASSBFT_THREAD_ANNOTATION_(x)
+#endif
+
+/// Data member readable/writable only with the given capability held.
+#define MASSBFT_GUARDED_BY(x) MASSBFT_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose pointee is protected by the given capability.
+#define MASSBFT_PT_GUARDED_BY(x) MASSBFT_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function that must be called with the capability held.
+#define MASSBFT_REQUIRES(...) \
+  MASSBFT_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires/releases the capability internally.
+#define MASSBFT_ACQUIRE(...) \
+  MASSBFT_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define MASSBFT_RELEASE(...) \
+  MASSBFT_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function whose caller must NOT hold the capability (deadlock guard).
+#define MASSBFT_EXCLUDES(...) \
+  MASSBFT_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Type acting as a capability (mutex wrappers).
+#define MASSBFT_CAPABILITY(x) MASSBFT_THREAD_ANNOTATION_(capability(x))
+
+/// RAII type that holds a capability for its lifetime.
+#define MASSBFT_SCOPED_CAPABILITY MASSBFT_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Escape hatch: function deliberately exempt from analysis.
+#define MASSBFT_NO_THREAD_SAFETY_ANALYSIS \
+  MASSBFT_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MASSBFT_COMMON_THREAD_ANNOTATIONS_H_

@@ -27,7 +27,7 @@ Digest DigestCertifier::DecisionDigest(const DecisionId& decision) {
 
 void DigestCertifier::Start(const DecisionId& decision) {
   Pending& p = pending_[decision];
-  if (p.votes.count(self_.index) > 0) return;  // Already started.
+  if (p.votes.contains(self_.index)) return;  // Already started.
   p.decision = decision;
   p.initiator = self_;
 

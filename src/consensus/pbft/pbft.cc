@@ -226,7 +226,7 @@ void PbftEngine::OnViewChangeVote(NodeId from, const ViewChangeMsg& msg) {
   votes.insert(from.index);
   // Echo once so votes accumulate even at nodes whose timers have not
   // fired (standard view-change amplification at f+1).
-  if (votes.count(self_.index) == 0 &&
+  if (!votes.contains(self_.index) &&
       static_cast<int>(votes.size()) >= f_ + 1) {
     votes.insert(self_.index);
     cb_.broadcast(std::make_shared<ViewChangeMsg>(

@@ -102,7 +102,7 @@ class RaftCoordinator {
   /// commit so execution can resume; the VTS element of `gid` is frozen by
   /// the owner node.
   void TakeOverInstance(uint16_t gid);
-  bool HasTakenOver(uint16_t gid) const { return taken_over_.count(gid) > 0; }
+  bool HasTakenOver(uint16_t gid) const { return taken_over_.contains(gid); }
   /// Returns the instance to its original (recovered) group.
   void ReleaseInstance(uint16_t gid) { taken_over_.erase(gid); }
 

@@ -678,13 +678,13 @@ void GroupNode::OnRaftCommitted(uint16_t gid, uint64_t seq) {
   // covered by EmitTakeoverTimestamps via unexecuted_committed_).
   for (uint16_t dead : dead_groups_) {
     if (raft_ != nullptr && raft_->HasTakenOver(dead) &&
-        frozen_clock_.count(dead) > 0) {
+        frozen_clock_.contains(dead)) {
       uint64_t frozen = frozen_clock_[dead];
       std::vector<TimestampElement> elements{
           TimestampElement{dead, key.first, key.second, frozen}};
       auto msg = std::make_shared<TimestampAssignMsg>(elements);
       for (int g = 0; g < num_groups(); ++g)
-        if (g != my_group() && dead_groups_.count(static_cast<uint16_t>(g)) == 0)
+        if (g != my_group() && !dead_groups_.contains(static_cast<uint16_t>(g)))
           SendWan(LeaderOf(g), msg);
       RelayToGroup(RelayEvent{RelayEvent::kTimestamp, key.first, key.second,
                               dead, frozen});
@@ -787,7 +787,7 @@ void GroupNode::OnHeartbeatTimer(uint64_t epoch) {
 void GroupNode::CheckGroupLiveness() {
   for (int g = 0; g < num_groups(); ++g) {
     uint16_t gid = static_cast<uint16_t>(g);
-    if (g == my_group() || dead_groups_.count(gid) > 0) continue;
+    if (g == my_group() || dead_groups_.contains(gid)) continue;
     if (Now() - last_heartbeat_[gid] > config_.group_crash_timeout)
       StartTakeover(gid);
   }
@@ -799,7 +799,7 @@ void GroupNode::StartTakeover(uint16_t dead_gid) {
   // instance and freezes its clock (paper Section V-C, "Crashed Groups").
   int takeover = -1;
   for (int g = 0; g < num_groups(); ++g) {
-    if (g == dead_gid || dead_groups_.count(static_cast<uint16_t>(g)) > 0)
+    if (g == dead_gid || dead_groups_.contains(static_cast<uint16_t>(g)))
       continue;
     takeover = g;
     break;
@@ -815,7 +815,7 @@ void GroupNode::StartTakeover(uint16_t dead_gid) {
   round.expected.clear();
   for (int g = 0; g < num_groups(); ++g) {
     uint16_t gid = static_cast<uint16_t>(g);
-    if (g == my_group() || dead_groups_.count(gid) > 0) continue;
+    if (g == my_group() || dead_groups_.contains(gid)) continue;
     round.expected.insert(gid);
     SendWan(LeaderOf(g), std::make_shared<FreezeMsg>(MessageType::kFreezeQuery,
                                                      dead_gid, 0));
@@ -842,7 +842,7 @@ void GroupNode::EmitTakeoverTimestamps(uint16_t dead_gid) {
   if (elements.empty()) return;
   auto msg = std::make_shared<TimestampAssignMsg>(elements);
   for (int g = 0; g < num_groups(); ++g)
-    if (g != my_group() && dead_groups_.count(static_cast<uint16_t>(g)) == 0)
+    if (g != my_group() && !dead_groups_.contains(static_cast<uint16_t>(g)))
       SendWan(LeaderOf(g), msg);
   for (const TimestampElement& e : elements)
     RelayToGroup(RelayEvent{RelayEvent::kTimestamp, e.target_gid,
@@ -936,7 +936,7 @@ void GroupNode::ExecuteEntry(uint16_t gid, uint64_t seq) {
                              result.conflict_aborts.end());
     for (size_t i = 0; i < entry->txns().size(); ++i) {
       const Transaction& txn = entry->txns()[i];
-      if (aborted.count(i) > 0) {
+      if (aborted.contains(i)) {
         pending_txns_.push_back(txn);
       } else if (ctx_->on_txn_committed) {
         ctx_->on_txn_committed(txn, done_at);
@@ -1012,7 +1012,7 @@ void GroupNode::HandleMessage(NodeId from, MessagePtr message) {
     case MessageType::kGroupHeartbeat: {
       const auto& hb = static_cast<const GroupHeartbeatMsg&>(*message);
       last_heartbeat_[hb.gid()] = Now();
-      if (dead_groups_.count(hb.gid()) > 0) OnGroupRejoined(hb.gid());
+      if (dead_groups_.contains(hb.gid())) OnGroupRejoined(hb.gid());
       break;
     }
     case MessageType::kGroupRelay: {

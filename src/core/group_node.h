@@ -185,8 +185,10 @@ class GroupNode : public Actor {
 
   // ---- Crypto helpers (charge simulated CPU).
   Signature SignPayload(const Bytes& payload);
-  bool VerifyNodeSig(NodeId node, const Bytes& payload, const Signature& sig);
-  bool VerifyGroupCert(const Certificate& cert, const Digest& digest);
+  [[nodiscard]] bool VerifyNodeSig(NodeId node, const Bytes& payload,
+                                   const Signature& sig);
+  [[nodiscard]] bool VerifyGroupCert(const Certificate& cert,
+                                     const Digest& digest);
 
   // ---- Batching / proposing (leader). Timer chains carry an epoch so
   // chains from before a crash die instead of double-firing after

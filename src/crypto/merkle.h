@@ -34,11 +34,13 @@ class MerkleTree {
   /// Builds a tree over the given blocks. Blocks are hashed with SHA-256;
   /// interior nodes hash the concatenation of their children.
   /// Requires at least one block.
-  static Result<MerkleTree> Build(const std::vector<Bytes>& blocks);
+  [[nodiscard]] static Result<MerkleTree> Build(
+      const std::vector<Bytes>& blocks);
 
   /// Builds from precomputed leaf hashes (used by receivers that only have
   /// chunk digests).
-  static Result<MerkleTree> BuildFromLeaves(std::vector<Digest> leaves);
+  [[nodiscard]] static Result<MerkleTree> BuildFromLeaves(
+      std::vector<Digest> leaves);
 
   const Digest& root() const { return levels_.back()[0]; }
   uint32_t leaf_count() const {
@@ -51,8 +53,9 @@ class MerkleTree {
 
   /// Verifies that a block whose hash is `leaf_hash` is the
   /// `proof.index`-th leaf of the tree with root `root`.
-  static bool VerifyProof(const Digest& root, const Digest& leaf_hash,
-                          const MerkleProof& proof);
+  [[nodiscard]] static bool VerifyProof(const Digest& root,
+                                        const Digest& leaf_hash,
+                                        const MerkleProof& proof);
 
   /// Hash of two concatenated child digests (exposed for tests).
   static Digest HashPair(const Digest& left, const Digest& right);

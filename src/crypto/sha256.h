@@ -53,12 +53,14 @@ class Sha256 {
 
   /// Finalizes and returns the digest. The object must be Reset() before
   /// reuse.
-  Digest Finish();
+  [[nodiscard]] Digest Finish();
 
   /// One-shot convenience.
-  static Digest Hash(const uint8_t* data, size_t len);
-  static Digest Hash(const Bytes& data) { return Hash(data.data(), data.size()); }
-  static Digest Hash(std::string_view s) {
+  [[nodiscard]] static Digest Hash(const uint8_t* data, size_t len);
+  [[nodiscard]] static Digest Hash(const Bytes& data) {
+    return Hash(data.data(), data.size());
+  }
+  [[nodiscard]] static Digest Hash(std::string_view s) {
     return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
   }
 

@@ -1,5 +1,6 @@
 #include "crypto/signature.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -7,9 +8,20 @@
 
 namespace massbft {
 
+std::vector<NodeId> KeyRegistry::RegisteredNodes() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(keys_.size());
+  // Hash-order walk is safe: sorted below before becoming observable.
+  // lint: unordered-iter-ok(sorted before the dump escapes)
+  for (const auto& [packed, key] : keys_)
+    nodes.push_back(NodeId::FromPacked(packed));
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
 void KeyRegistry::RegisterNode(NodeId node) {
   uint32_t packed = node.Packed();
-  if (keys_.count(packed) > 0) return;
+  if (keys_.contains(packed)) return;
   // Derive a per-node secret deterministically so clusters are reproducible.
   Bytes seed = ToBytes("massbft-node-key:");
   seed.push_back(static_cast<uint8_t>(packed >> 24));

@@ -58,19 +58,28 @@ class KeyRegistry {
 
   /// Signs `len` bytes at `data` with the node's key.
   /// Dies if the node was never registered (a harness bug, not input error).
-  Signature Sign(NodeId node, const uint8_t* data, size_t len) const;
-  Signature Sign(NodeId node, const Bytes& data) const {
+  [[nodiscard]] Signature Sign(NodeId node, const uint8_t* data,
+                               size_t len) const;
+  [[nodiscard]] Signature Sign(NodeId node, const Bytes& data) const {
     return Sign(node, data.data(), data.size());
   }
 
-  /// Verifies that `sig` is `node`'s signature over the data.
-  bool Verify(NodeId node, const uint8_t* data, size_t len,
-              const Signature& sig) const;
-  bool Verify(NodeId node, const Bytes& data, const Signature& sig) const {
+  /// Verifies that `sig` is `node`'s signature over the data. Ignoring the
+  /// verdict would accept forgeries, hence [[nodiscard]] (DESIGN.md §11 D4).
+  [[nodiscard]] bool Verify(NodeId node, const uint8_t* data, size_t len,
+                            const Signature& sig) const;
+  [[nodiscard]] bool Verify(NodeId node, const Bytes& data,
+                            const Signature& sig) const {
     return Verify(node, data.data(), data.size(), sig);
   }
 
   size_t num_nodes() const { return keys_.size(); }
+
+  /// All registered nodes in ascending (group, index) order. Any
+  /// result-observable dump of the registry must use this rather than
+  /// walking the hash map, whose order is hash-seed dependent (DESIGN.md
+  /// §11, rule D2).
+  [[nodiscard]] std::vector<NodeId> RegisteredNodes() const;
 
  private:
   std::unordered_map<uint32_t, Bytes> keys_;

@@ -1,6 +1,39 @@
 #include "db/kv_store.h"
 
+#include <algorithm>
+
 namespace massbft {
+
+namespace {
+uint64_t g_hash_seed = 0;
+}  // namespace
+
+void KvStore::SetHashSeedForTest(uint64_t seed) { g_hash_seed = seed; }
+
+uint64_t KvStore::hash_seed() { return g_hash_seed; }
+
+std::vector<std::pair<std::string, Bytes>> KvStore::Snapshot() const {
+  std::vector<std::pair<std::string, Bytes>> entries;
+  entries.reserve(map_.size());
+  // Hash-order walk is safe here because the result is sorted before it
+  // escapes.
+  // lint: unordered-iter-ok(sorted below before becoming observable)
+  for (const auto& [key, value] : map_) entries.emplace_back(key, value);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return entries;
+}
+
+uint64_t KvStore::StateFingerprint() const {
+  uint64_t fp = 0;
+  // lint: unordered-iter-ok(XOR fold is commutative, order-independent)
+  for (const auto& [key, value] : map_) {
+    uint64_t h = std::hash<std::string_view>{}(key);
+    for (uint8_t b : value) h = h * 1099511628211ULL + b;
+    fp ^= h;
+  }
+  return fp;
+}
 
 std::optional<Bytes> KvStore::Get(std::string_view key) const {
   auto it = map_.find(key);

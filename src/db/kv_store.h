@@ -1,11 +1,14 @@
 #ifndef MASSBFT_DB_KV_STORE_H_
 #define MASSBFT_DB_KV_STORE_H_
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 
@@ -42,11 +45,35 @@ class KvStore {
   /// Drops all written state (back to pristine initial state).
   void Reset() { map_.clear(); }
 
+  /// All materialized (written) entries in ascending key order. Any
+  /// result-observable dump of store state (agreement digests, experiment
+  /// JSON, debugging snapshots) must go through this instead of walking the
+  /// hash map, whose order depends on the hash seed (DESIGN.md §11, D2).
+  [[nodiscard]] std::vector<std::pair<std::string, Bytes>> Snapshot() const;
+
+  /// Order-independent digest input: XOR/sum-folds per-entry hashes, so it
+  /// is identical for any iteration order. Used by tests to check that two
+  /// stores hold the same state without materializing a snapshot.
+  [[nodiscard]] uint64_t StateFingerprint() const;
+
+  /// Test hook: perturbs the bucket hash for all KvStores constructed
+  /// afterwards, emulating a different std::hash implementation/seed.
+  /// Deterministic results must not change under any seed (regression test
+  /// for hash-order leaking into experiment output).
+  static void SetHashSeedForTest(uint64_t seed);
+  static uint64_t hash_seed();
+
  private:
   struct StringHash {
     using is_transparent = void;
     size_t operator()(std::string_view s) const {
-      return std::hash<std::string_view>{}(s);
+      // SplitMix64-style avalanche of the seed keeps bucket assignment
+      // well-distributed for any test seed.
+      uint64_t h = std::hash<std::string_view>{}(s) + hash_seed();
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ULL;
+      h ^= h >> 27;
+      return static_cast<size_t>(h);
     }
   };
   std::unordered_map<std::string, Bytes, StringHash, std::equal_to<>> map_;

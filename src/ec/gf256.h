@@ -14,7 +14,7 @@ struct Tables {
   std::array<uint8_t, 256> log;
 };
 
-constexpr Tables MakeTables() {
+[[nodiscard]] constexpr Tables MakeTables() {
   Tables t{};
   uint16_t x = 1;
   for (int i = 0; i < 255; ++i) {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <utility>
 
+#include "common/thread_annotations.h"
 #include "ec/gf256.h"
 
 namespace massbft {
@@ -17,6 +18,20 @@ namespace {
 /// resident in L1/L2 while every output row consumes the stripe, instead of
 /// re-streaming whole shards from memory once per output row.
 constexpr size_t kCodingStripe = 4096;
+
+/// Process-wide memo cache behind ReedSolomon::Shared. A named struct (vs
+/// function-local statics) so the clang -Wthread-safety leg can prove the
+/// MASSBFT_GUARDED_BY contract: `by_params` is only touched under `mutex`.
+struct RsFactoryCache {
+  std::mutex mutex;
+  std::map<std::pair<int, int>, std::shared_ptr<const ReedSolomon>> by_params
+      MASSBFT_GUARDED_BY(mutex);
+};
+
+RsFactoryCache& FactoryCache() {
+  static RsFactoryCache* cache = new RsFactoryCache();
+  return *cache;
+}
 
 }  // namespace
 
@@ -49,16 +64,14 @@ Result<ReedSolomon> ReedSolomon::Create(int n_data, int n_parity) {
 
 Result<std::shared_ptr<const ReedSolomon>> ReedSolomon::Shared(int n_data,
                                                                int n_parity) {
-  static std::mutex mutex;
-  static std::map<std::pair<int, int>, std::shared_ptr<const ReedSolomon>>
-      cache;
-  std::lock_guard<std::mutex> lock(mutex);
+  RsFactoryCache& cache = FactoryCache();
+  std::lock_guard<std::mutex> lock(cache.mutex);
   auto key = std::make_pair(n_data, n_parity);
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  auto it = cache.by_params.find(key);
+  if (it != cache.by_params.end()) return it->second;
   MASSBFT_ASSIGN_OR_RETURN(ReedSolomon rs, Create(n_data, n_parity));
   auto shared = std::make_shared<const ReedSolomon>(std::move(rs));
-  cache.emplace(key, shared);
+  cache.by_params.emplace(key, shared);
   return shared;
 }
 

@@ -31,7 +31,7 @@ class ReedSolomon {
  public:
   /// Creates a coder. Requires 1 <= n_data, 0 <= n_parity,
   /// n_data + n_parity <= 255.
-  static Result<ReedSolomon> Create(int n_data, int n_parity);
+  [[nodiscard]] static Result<ReedSolomon> Create(int n_data, int n_parity);
 
   /// Memoized Create: returns a process-wide shared coder for
   /// (n_data, n_parity). Construction inverts a Vandermonde sub-matrix, so
@@ -61,7 +61,7 @@ class ReedSolomon {
       const std::vector<std::optional<Bytes>>& shards) const;
 
   /// Inverse of EncodeMessage: reconstructs and strips the length framing.
-  Result<Bytes> DecodeMessage(
+  [[nodiscard]] Result<Bytes> DecodeMessage(
       const std::vector<std::optional<Bytes>>& shards) const;
 
   /// Shard size EncodeMessage will use for a message of `message_len` bytes.

@@ -15,12 +15,12 @@ void RoundOrderingEngine::Poke() {
     // entry is executable.
     bool complete = true;
     for (int g = 0; g < num_groups_ && complete; ++g) {
-      if (excluded_.count(static_cast<uint16_t>(g)) > 0) continue;
+      if (excluded_.contains(static_cast<uint16_t>(g))) continue;
       if (!cb_.can_execute(static_cast<uint16_t>(g), round_)) complete = false;
     }
     if (!complete) break;
     for (int g = 0; g < num_groups_; ++g) {
-      if (excluded_.count(static_cast<uint16_t>(g)) > 0) continue;
+      if (excluded_.contains(static_cast<uint16_t>(g))) continue;
       cb_.execute(static_cast<uint16_t>(g), round_);
       ++executed_count_;
     }

@@ -26,7 +26,7 @@ struct Transaction {
   Bytes payload;
 
   void EncodeTo(BinaryWriter* w) const;
-  static Result<Transaction> DecodeFrom(BinaryReader* r);
+  [[nodiscard]] static Result<Transaction> DecodeFrom(BinaryReader* r);
   size_t ByteSize() const { return 8 + 4 + 8 + 2 + payload.size(); }
 
   friend bool operator==(const Transaction&, const Transaction&) = default;
@@ -67,7 +67,8 @@ class Entry {
     return digest_;
   }
 
-  static Result<std::shared_ptr<const Entry>> Decode(const Bytes& encoded);
+  [[nodiscard]] static Result<std::shared_ptr<const Entry>> Decode(
+      const Bytes& encoded);
 
  private:
   uint16_t gid_;
@@ -89,12 +90,12 @@ struct Certificate {
   std::vector<std::pair<NodeId, Signature>> sigs;
 
   void EncodeTo(BinaryWriter* w) const;
-  static Result<Certificate> DecodeFrom(BinaryReader* r);
+  [[nodiscard]] static Result<Certificate> DecodeFrom(BinaryReader* r);
   size_t ByteSize() const { return 2 + 32 + 2 + sigs.size() * (4 + 64); }
 
   /// True if the certificate carries at least `quorum` valid signatures
   /// from distinct nodes of group `gid` over `digest`.
-  bool Verify(const KeyRegistry& registry, int quorum) const;
+  [[nodiscard]] bool Verify(const KeyRegistry& registry, int quorum) const;
 };
 
 }  // namespace massbft

@@ -51,7 +51,7 @@ EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
   if (complete()) return Count(AddResult::kDuplicate);
   if (chunk_id >= static_cast<uint32_t>(config_.n_total))
     return Count(AddResult::kRejected);
-  if (banned_ids_.count(chunk_id) > 0) return Count(AddResult::kDuplicate);
+  if (banned_ids_.contains(chunk_id)) return Count(AddResult::kDuplicate);
 
   // The Merkle tree is built over all n_total chunks in id order, so the
   // proof's leaf index must equal the chunk id and its leaf count must

@@ -35,7 +35,7 @@ class TransferPlan {
   /// Builds the plan for groups of size n1 (sender) and n2 (receiver).
   /// Fails if LCM(n1, n2) > 255 (GF(2^8) shard limit, documented in
   /// DESIGN.md) or if the fault bounds leave no data chunks.
-  static Result<TransferPlan> Create(int n1, int n2);
+  [[nodiscard]] static Result<TransferPlan> Create(int n1, int n2);
 
   int n1() const { return n1_; }
   int n2() const { return n2_; }

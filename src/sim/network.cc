@@ -114,13 +114,20 @@ const TrafficStats& Network::StatsFor(NodeId node) const {
 }
 
 TrafficStats Network::TotalStats() const {
+  // Walk nodes in topology order, not states_ order: the aggregate is a
+  // commutative sum today, but iterating the hash map here would make any
+  // future non-commutative use (per-node dumps, first-k reporting) silently
+  // hash-seed-dependent. Topology order is fixed at construction.
   TrafficStats total;
-  for (const auto& [id, state] : states_) {
-    total.wan_bytes_sent += state.stats.wan_bytes_sent;
-    total.wan_bytes_received += state.stats.wan_bytes_received;
-    total.lan_bytes_sent += state.stats.lan_bytes_sent;
-    total.wan_messages_sent += state.stats.wan_messages_sent;
-    total.lan_messages_sent += state.stats.lan_messages_sent;
+  for (NodeId node : topology_->AllNodes()) {
+    auto it = states_.find(node.Packed());
+    if (it == states_.end()) continue;
+    const TrafficStats& s = it->second.stats;
+    total.wan_bytes_sent += s.wan_bytes_sent;
+    total.wan_bytes_received += s.wan_bytes_received;
+    total.lan_bytes_sent += s.lan_bytes_sent;
+    total.wan_messages_sent += s.wan_messages_sent;
+    total.lan_messages_sent += s.lan_messages_sent;
   }
   return total;
 }
@@ -130,7 +137,10 @@ uint64_t Network::TotalWanBytesSent() const {
 }
 
 void Network::ResetStats() {
-  for (auto& [id, state] : states_) state.stats = TrafficStats{};
+  for (NodeId node : topology_->AllNodes()) {
+    auto it = states_.find(node.Packed());
+    if (it != states_.end()) it->second.stats = TrafficStats{};
+  }
 }
 
 }  // namespace massbft

@@ -79,7 +79,7 @@ class Network {
   /// Marks a node crashed: all of its queued/future traffic is dropped.
   void CrashNode(NodeId node);
   void RecoverNode(NodeId node);
-  bool IsCrashed(NodeId node) const { return crashed_.count(node.Packed()) > 0; }
+  bool IsCrashed(NodeId node) const { return crashed_.contains(node.Packed()); }
 
   const TrafficStats& StatsFor(NodeId node) const;
   TrafficStats TotalStats() const;

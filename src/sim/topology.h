@@ -53,7 +53,7 @@ struct TopologyConfig {
 /// Resolved per-node link parameters + helpers for quorum math.
 class Topology {
  public:
-  static Result<Topology> Create(TopologyConfig config);
+  [[nodiscard]] static Result<Topology> Create(TopologyConfig config);
 
   const TopologyConfig& config() const { return config_; }
   int num_groups() const { return config_.num_groups(); }

@@ -21,7 +21,7 @@ class SmallBankWorkload final : public Workload {
 
   void InstallInitialState(KvStore* store) const override;
   Bytes NextPayload(Rng& rng) override;
-  Result<std::unique_ptr<Procedure>> Parse(
+  [[nodiscard]] Result<std::unique_ptr<Procedure>> Parse(
       const Bytes& payload) const override;
 
   static std::string SavingsKey(uint64_t account);

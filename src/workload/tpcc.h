@@ -30,7 +30,7 @@ class TpccWorkload final : public Workload {
 
   void InstallInitialState(KvStore* store) const override;
   Bytes NextPayload(Rng& rng) override;
-  Result<std::unique_ptr<Procedure>> Parse(
+  [[nodiscard]] Result<std::unique_ptr<Procedure>> Parse(
       const Bytes& payload) const override;
 
   // Key encodings (exposed for tests).

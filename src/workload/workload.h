@@ -41,17 +41,17 @@ class Workload {
   virtual Bytes NextPayload(Rng& rng) = 0;
 
   /// Decodes a payload into an executable stored procedure.
-  virtual Result<std::unique_ptr<Procedure>> Parse(
+  [[nodiscard]] virtual Result<std::unique_ptr<Procedure>> Parse(
       const Bytes& payload) const = 0;
 
   /// Adapts Parse to the Aria executor's factory signature.
-  ProcedureFactory MakeFactory() const;
+  [[nodiscard]] ProcedureFactory MakeFactory() const;
 };
 
 /// Creates a workload instance. `config_scale` scales table cardinalities
 /// (1.0 = the paper's sizes); tests use small scales.
-std::unique_ptr<Workload> MakeWorkload(WorkloadKind kind,
-                                       double config_scale = 1.0);
+[[nodiscard]] std::unique_ptr<Workload> MakeWorkload(WorkloadKind kind,
+                                                     double config_scale = 1.0);
 
 }  // namespace massbft
 

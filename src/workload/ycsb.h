@@ -25,7 +25,7 @@ class YcsbWorkload final : public Workload {
 
   void InstallInitialState(KvStore* store) const override;
   Bytes NextPayload(Rng& rng) override;
-  Result<std::unique_ptr<Procedure>> Parse(
+  [[nodiscard]] Result<std::unique_ptr<Procedure>> Parse(
       const Bytes& payload) const override;
 
   /// Row/column key encoding (exposed for tests).

@@ -106,11 +106,11 @@ TEST(CodecTest, RoundTripsFixedWidths) {
   w.PutI64(-42);
 
   BinaryReader r(w.buffer());
-  uint8_t u8;
-  uint16_t u16;
-  uint32_t u32;
-  uint64_t u64;
-  int64_t i64;
+  uint8_t u8 = 0;
+  uint16_t u16 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
   ASSERT_TRUE(r.GetU8(&u8).ok());
   ASSERT_TRUE(r.GetU16(&u16).ok());
   ASSERT_TRUE(r.GetU32(&u32).ok());

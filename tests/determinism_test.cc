@@ -1,0 +1,112 @@
+// Regression tests for DESIGN.md §11 rule D2: no hash-map iteration order
+// may leak into observable results. The KvStore hash-seed hook emulates a
+// different std::hash implementation (libstdc++ vs libc++ vs a future
+// hardened seed): every observable — store snapshots, registry dumps,
+// experiment JSON — must be byte-identical under any seed.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "crypto/signature.h"
+#include "db/kv_store.h"
+
+namespace massbft {
+namespace {
+
+Bytes Val(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class HashSeedGuard {
+ public:
+  explicit HashSeedGuard(uint64_t seed) { KvStore::SetHashSeedForTest(seed); }
+  ~HashSeedGuard() { KvStore::SetHashSeedForTest(0); }
+};
+
+TEST(KvStoreDeterminismTest, SnapshotIsSortedRegardlessOfInsertionOrder) {
+  std::vector<std::string> keys = {"w:7", "a:1", "m:3", "z:9", "b:2", "k:4"};
+  KvStore forward;
+  for (const auto& k : keys) forward.Put(k, Val("v-" + k));
+  KvStore backward;
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it)
+    backward.Put(*it, Val("v-" + *it));
+
+  auto snap_fwd = forward.Snapshot();
+  auto snap_bwd = backward.Snapshot();
+  ASSERT_EQ(snap_fwd.size(), keys.size());
+  EXPECT_EQ(snap_fwd, snap_bwd);
+  EXPECT_TRUE(std::is_sorted(
+      snap_fwd.begin(), snap_fwd.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+}
+
+TEST(KvStoreDeterminismTest, SnapshotAndFingerprintAreHashSeedInvariant) {
+  auto fill = [](KvStore& store) {
+    for (int i = 0; i < 200; ++i) {
+      std::string k = "key-" + std::to_string(i * 37 % 101);
+      store.Put(k, Val("value-" + std::to_string(i)));
+    }
+  };
+  KvStore baseline;
+  fill(baseline);
+  auto baseline_snap = baseline.Snapshot();
+  uint64_t baseline_fp = baseline.StateFingerprint();
+
+  for (uint64_t seed : {0x9e3779b97f4a7c15ULL, 0x123456789abcdefULL}) {
+    HashSeedGuard guard(seed);
+    KvStore reseeded;
+    fill(reseeded);
+    EXPECT_EQ(reseeded.Snapshot(), baseline_snap) << "seed " << seed;
+    EXPECT_EQ(reseeded.StateFingerprint(), baseline_fp) << "seed " << seed;
+  }
+}
+
+TEST(KeyRegistryDeterminismTest, RegisteredNodesDumpIsSorted) {
+  KeyRegistry registry;
+  // Register in a scrambled order across groups.
+  for (uint16_t g : {2, 0, 1})
+    for (uint16_t i : {3, 0, 2, 1})
+      registry.RegisterNode(NodeId{g, i});
+
+  std::vector<NodeId> nodes = registry.RegisteredNodes();
+  ASSERT_EQ(nodes.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(nodes.begin(), nodes.end()));
+}
+
+/// The satellite check from ISSUE 3: two differently-seeded-hash runs of a
+/// full fixed-seed experiment produce identical experiment JSON (after
+/// zeroing the three documented host-time fields, DESIGN.md §10).
+TEST(ExperimentDeterminismTest, JsonIsIdenticalAcrossHashSeeds) {
+  auto run_json = [](uint64_t hash_seed) {
+    HashSeedGuard guard(hash_seed);
+    ExperimentConfig config;
+    config.topology = TopologyConfig::Nationwide(3, 4);
+    config.protocol = ProtocolConfig::ForKind(ProtocolKind::kMassBft);
+    config.workload = WorkloadKind::kYcsbA;
+    config.workload_scale = 0.01;
+    config.clients_per_group = 40;
+    config.duration = 2 * kSecond;
+    config.warmup = kSecond / 2;
+    config.seed = 7;
+    Experiment experiment(std::move(config));
+    Status s = experiment.Setup();
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    ExperimentResult result = experiment.Run();
+    result.wall_ms = 0;
+    result.events_per_sec = 0;
+    result.sim_time_ratio = 0;
+    return result.ToJson();
+  };
+
+  std::string baseline = run_json(0);
+  std::string reseeded = run_json(0xdeadbeefcafef00dULL);
+  EXPECT_FALSE(baseline.empty());
+  EXPECT_EQ(baseline, reseeded)
+      << "hash-seed-dependent iteration order leaked into experiment JSON";
+}
+
+}  // namespace
+}  // namespace massbft

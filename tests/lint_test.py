@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint/massbft_lint.py (registered in ctest as
+lint_fixtures; the companion lint_tree test runs the linter over the real
+tree). Each fixture under tools/lint/testdata/fake_repo seeds exactly the
+violations asserted here, plus a clean file that must stay silent — so a
+rule that stops firing, fires twice, or fires on clean code fails tier-1
+locally, not just in CI.
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint", "massbft_lint.py")
+FAKE_REPO = os.path.join(REPO_ROOT, "tools", "lint", "testdata", "fake_repo")
+
+FINDING_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): "
+                        r"\[(?P<rid>D\d)/(?P<rule>[a-z-]+)\] ")
+
+
+def run_linter(*args):
+    proc = subprocess.run(
+        [sys.executable, LINTER] + list(args),
+        capture_output=True, text=True, check=False)
+    findings = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            findings.append((m.group("path"), int(m.group("line")),
+                             m.group("rid"), m.group("rule")))
+    return proc.returncode, findings
+
+
+class FixtureTest(unittest.TestCase):
+    @classmethod
+    def setUpClass(cls):
+        cls.rc, cls.findings = run_linter("--root", FAKE_REPO)
+
+    def findings_for(self, path):
+        return [f for f in self.findings if f[0] == path]
+
+    def test_exit_code_signals_findings(self):
+        self.assertEqual(self.rc, 1)
+
+    def test_d1_wallclock_fires_on_each_banned_source(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/sim/bad_wallclock.cc")]
+        self.assertEqual(rules, [("D1", "wallclock")] * 4,
+                         "system_clock, time(), srand(), rand()")
+
+    def test_d2_unordered_iter_fires_on_range_for_and_iterator_walk(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/sim/bad_unordered.cc")]
+        self.assertEqual(rules, [("D2", "unordered-iter")] * 2)
+
+    def test_d3_kernel_oracle_fires_without_scalar_twin(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/ec/bad_kernel.cc")]
+        self.assertEqual(rules, [("D3", "kernel-oracle")])
+
+    def test_d3_kernel_oracle_fires_without_property_test(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/crypto/untested_kernel.cc")]
+        self.assertEqual(rules, [("D3", "kernel-oracle")])
+
+    def test_d4_nodiscard_fires_on_unannotated_status_class(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/common/status.h")]
+        self.assertEqual(rules, [("D4", "nodiscard")])
+
+    def test_d4_nodiscard_fires_on_unannotated_factories(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/proto/bad_factory.h")]
+        self.assertEqual(rules, [("D4", "nodiscard")] * 2,
+                         "DecodeThing and VerifyThing")
+
+    def test_d5_flags_stale_suppressions(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/sim/unused_suppression.cc")]
+        self.assertEqual(rules, [("D5", "unused-suppression")])
+
+    def test_clean_file_is_silent(self):
+        self.assertEqual(self.findings_for("src/sim/clean.cc"), [],
+                         "legal constructs and a used suppression must not "
+                         "fire any rule, including unused-suppression")
+
+    def test_no_unexpected_findings(self):
+        expected_files = {
+            "src/sim/bad_wallclock.cc", "src/sim/bad_unordered.cc",
+            "src/ec/bad_kernel.cc", "src/crypto/untested_kernel.cc",
+            "src/common/status.h", "src/proto/bad_factory.h",
+            "src/sim/unused_suppression.cc",
+        }
+        self.assertEqual({f[0] for f in self.findings}, expected_files)
+
+
+class RealTreeTest(unittest.TestCase):
+    """The real tree must lint clean — the same check the `lint_tree` ctest
+    entry and the CI lint leg run, kept here too so `python3
+    tests/lint_test.py` alone gives the full verdict."""
+
+    def test_real_tree_is_clean(self):
+        rc, findings = run_linter("--root", REPO_ROOT)
+        self.assertEqual(
+            (rc, findings), (0, []),
+            "massbft_lint must pass on the repository itself; fix the "
+            "violation or add a reasoned suppression (DESIGN.md §11)")
+
+
+if __name__ == "__main__":
+    unittest.main()

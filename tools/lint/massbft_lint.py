@@ -1,0 +1,440 @@
+#!/usr/bin/env python3
+"""massbft_lint: project-specific determinism & status-discipline checks.
+
+The reproduction's experimental claim (Figures 8-15 regenerated from
+fixed-seed runs) rests on two properties nothing else enforces:
+
+  * bit-identical simulation across machines and standard-library
+    implementations (no wall clock, no hash-order dependence), and
+  * no silently dropped error Status on protocol paths.
+
+This linter machine-checks the cheap 80% of that (DESIGN.md §11). Rules:
+
+  D1 wallclock        No wall-clock / ambient nondeterminism in protocol &
+                      sim code: time(), std::chrono::system_clock /
+                      steady_clock, rand(), srand(), std::random_device.
+  D2 unordered-iter   No iteration over unordered containers in
+                      src/{consensus,ordering,replication,proto,sim,
+                      crypto,db}: iteration order is hash-seed dependent
+                      and leaks
+                      into observable results. Iterate a sorted view, use
+                      std::map, or suppress with a reason.
+  D3 kernel-oracle    Every SIMD dispatch site (a file calling
+                      GetCpuFeatures()) must keep a scalar-oracle twin in
+                      the same kernel family and a tests/ property test
+                      referencing family + scalar oracle (DESIGN.md §10).
+  D4 nodiscard        Status and Result<T> must be declared
+                      [[nodiscard]], and factory/decoder/verifier APIs
+                      (Decode*/Verify*/Make*/Create*/Build*/Parse*)
+                      declared in src/ headers must carry [[nodiscard]].
+
+Suppressions (must carry a non-empty reason; unused suppressions are
+themselves findings so stale ones cannot accumulate):
+
+  ... flagged code ...   // lint: <rule>-ok(<reason>)      same line
+  // lint: <rule>-ok(<reason>)                              line above
+  // lint-file: <rule>-ok(<reason>)                         whole file
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+RULES = {
+    "wallclock": "D1",
+    "unordered-iter": "D2",
+    "kernel-oracle": "D3",
+    "nodiscard": "D4",
+    "unused-suppression": "D5",
+}
+
+# Directory scopes, relative to the repo root (prefix match).
+D1_SCOPE = (
+    "src/consensus", "src/ordering", "src/replication", "src/proto",
+    "src/sim", "src/core", "src/crypto", "src/ec", "src/db",
+)
+# The protocol dirs plus src/crypto (signature store) and src/db (kv store
+# snapshots/scans) — the unordered-container headers whose iteration order
+# could leak into observable results.
+D2_SCOPE = (
+    "src/consensus", "src/ordering", "src/replication", "src/proto",
+    "src/sim", "src/crypto", "src/db",
+)
+SCAN_DIRS = ("src", "bench", "tests")
+CXX_EXTENSIONS = (".h", ".cc", ".cpp", ".hpp")
+
+# D1: each pattern bans one source of ambient nondeterminism.
+D1_PATTERNS = [
+    (re.compile(r"(?<![A-Za-z0-9_:.>])time\s*\("), "wall-clock time()"),
+    (re.compile(r"std::chrono::system_clock"), "std::chrono::system_clock"),
+    (re.compile(r"std::chrono::steady_clock"), "std::chrono::steady_clock"),
+    (re.compile(r"(?<![A-Za-z0-9_:.>])rand\s*\(\s*\)"), "rand()"),
+    (re.compile(r"(?<![A-Za-z0-9_:.>])srand\s*\("), "srand()"),
+    (re.compile(r"std::random_device"), "std::random_device"),
+]
+
+UNORDERED_DECL_RE = re.compile(
+    r"\b(?:std::)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset)\s*<")
+# `Type name_;` or `Type name;` tail of a member/variable declaration.
+DECL_NAME_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^;]*)?;")
+RANGE_FOR_RE = re.compile(
+    r"\bfor\s*\(\s*(?:const\s+)?[^;:)]*?:\s*(?:\*?\s*)?"
+    r"(?:this->)?([A-Za-z_][A-Za-z0-9_]*)\s*\)")
+# Only begin() starts a walk; a bare `it != m.end()` after find() is an
+# order-independent membership check and stays legal.
+BEGIN_ITER_RE = re.compile(
+    r"\b(?:this->)?([A-Za-z_][A-Za-z0-9_]*)\s*\.\s*c?r?begin\s*\(")
+
+SUPPRESS_RE = re.compile(r"//\s*lint:\s*([a-z-]+)-ok\(([^)]*)\)")
+FILE_SUPPRESS_RE = re.compile(r"//\s*lint-file:\s*([a-z-]+)-ok\(([^)]*)\)")
+
+# D4: a declaration line in a header introducing Decode*/Verify*/... with a
+# return type before the name. Statement-ish lines are filtered separately.
+FACTORY_DECL_RE = re.compile(
+    r"^(?:\[\[nodiscard\]\]\s+)?"
+    r"(?:(?:static|virtual|constexpr|inline|friend|explicit)\s+)*"
+    r"(?:\[\[nodiscard\]\]\s+)?"
+    r"[A-Za-z_][A-Za-z0-9_:<>,&*\s]*?[\s&*]"
+    r"((?:Decode|Verify|Make|Create|Build|Parse)[A-Za-z0-9_]*)\s*\(")
+NODISCARD_CLASS_RE = re.compile(
+    r"\bclass\s+\[\[nodiscard\]\]\s+(Status|Result)\b")
+PLAIN_CLASS_RE = re.compile(r"\bclass\s+(Status|Result)\b")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s/%s] %s" % (
+            self.path, self.line, RULES[self.rule], self.rule, self.message)
+
+
+class FileContext:
+    """One parsed source file: lines, comment-stripped lines, suppressions."""
+
+    def __init__(self, root, relpath):
+        self.relpath = relpath
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            self.lines = f.read().splitlines()
+        self.code = [strip_comments_and_strings(l) for l in self.lines]
+        # rule -> set of 1-based line numbers the suppression covers.
+        self.suppressions = {}
+        # (line, rule) -> used flag, for the unused-suppression rule.
+        self.suppression_sites = {}
+        self.file_suppressions = set()
+        self.bad_suppressions = []
+        for i, line in enumerate(self.lines, start=1):
+            for m in FILE_SUPPRESS_RE.finditer(line):
+                rule, reason = m.group(1), m.group(2).strip()
+                if rule not in RULES:
+                    self.bad_suppressions.append(
+                        (i, "unknown rule '%s' in lint-file suppression" % rule))
+                elif not reason:
+                    self.bad_suppressions.append(
+                        (i, "lint-file suppression for '%s' needs a reason"
+                         % rule))
+                else:
+                    self.file_suppressions.add(rule)
+            for m in SUPPRESS_RE.finditer(line):
+                rule, reason = m.group(1), m.group(2).strip()
+                if rule not in RULES:
+                    self.bad_suppressions.append(
+                        (i, "unknown rule '%s' in lint suppression" % rule))
+                    continue
+                if not reason:
+                    self.bad_suppressions.append(
+                        (i, "lint suppression for '%s' needs a reason" % rule))
+                    continue
+                # A suppression comment covers its own line and the next
+                # line carrying code (so it can sit above the flagged code,
+                # even as part of a multi-line explanatory comment).
+                j = i + 1
+                while j <= len(self.code) and not self.code[j - 1].strip():
+                    j += 1
+                covered = self.suppressions.setdefault(rule, {})
+                covered[i] = i
+                covered[j] = i
+                self.suppression_sites[(i, rule)] = False
+
+    def suppressed(self, rule, line):
+        if rule in self.file_suppressions:
+            return True
+        covered = self.suppressions.get(rule, {})
+        if line in covered:
+            self.suppression_sites[(covered[line], rule)] = True
+            return True
+        return False
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals so rule
+    regexes cannot match inside them. Block comments are rare in this
+    codebase (doc comments use ///); a line-local approximation suffices and
+    keeps the linter trivially fast."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def in_scope(relpath, scope):
+    return any(relpath == d or relpath.startswith(d + "/") for d in scope)
+
+
+def check_d1_wallclock(ctx, findings):
+    if not in_scope(ctx.relpath, D1_SCOPE):
+        return
+    for i, code in enumerate(ctx.code, start=1):
+        for pattern, what in D1_PATTERNS:
+            if pattern.search(code) and not ctx.suppressed("wallclock", i):
+                findings.append(Finding(
+                    ctx.relpath, i, "wallclock",
+                    "%s is wall-clock/ambient nondeterminism; use SimTime / "
+                    "the seeded Rng (suppress: // lint: wallclock-ok(why))"
+                    % what))
+
+
+def collect_unordered_names(contexts):
+    """Names of variables/members declared with an unordered container
+    anywhere in the tree. Iteration sites are then flagged by name in the
+    D2-scoped directories — cross-file, so a member declared in network.h
+    is caught when iterated in network.cc."""
+    names = set()
+    for ctx in contexts.values():
+        for code in ctx.code:
+            if not UNORDERED_DECL_RE.search(code):
+                continue
+            # The declared name is the identifier right before the final ';'
+            # (handles `std::unordered_map<K, V> states_;` incl. defaults).
+            tail = code[code.rindex(">") + 1:] if ">" in code else code
+            m = DECL_NAME_RE.search(tail)
+            if m:
+                names.add(m.group(1))
+    return names
+
+
+def check_d2_unordered_iter(ctx, unordered_names, findings):
+    if not in_scope(ctx.relpath, D2_SCOPE):
+        return
+    for i, code in enumerate(ctx.code, start=1):
+        hits = []
+        m = RANGE_FOR_RE.search(code)
+        if m and m.group(1) in unordered_names:
+            hits.append(("range-for over", m.group(1)))
+        for m in BEGIN_ITER_RE.finditer(code):
+            if m.group(1) in unordered_names:
+                hits.append(("iterator walk of", m.group(1)))
+        for verb, name in hits:
+            if ctx.suppressed("unordered-iter", i):
+                continue
+            findings.append(Finding(
+                ctx.relpath, i, "unordered-iter",
+                "%s unordered container '%s': iteration order is hash-"
+                "dependent and can leak into results; iterate a sorted "
+                "view or use std::map (suppress: // lint: "
+                "unordered-iter-ok(why))" % (verb, name)))
+            break  # one finding per line is enough
+
+
+def kernel_family(relpath):
+    return os.path.splitext(os.path.basename(relpath))[0]
+
+
+def check_d3_kernel_oracle(contexts, findings):
+    """Dispatch sites call GetCpuFeatures(). For each dispatching family
+    (file basename), require a scalar twin in the family sources and a
+    tests/ file exercising <family> together with the scalar oracle."""
+    dispatch_sites = {}  # family -> (relpath, line)
+    for relpath, ctx in contexts.items():
+        if not relpath.startswith("src/"):
+            continue
+        for i, code in enumerate(ctx.code, start=1):
+            if "GetCpuFeatures" in code and "const CpuFeatures&" not in code:
+                dispatch_sites.setdefault(kernel_family(relpath), (relpath, i))
+    # cpu.cc defines the detector itself, not a kernel family.
+    dispatch_sites.pop("cpu", None)
+
+    scalar_re = re.compile(r"[Ss]calar")
+    for family, (relpath, line) in sorted(dispatch_sites.items()):
+        ctx = contexts[relpath]
+        if ctx.suppressed("kernel-oracle", line) or \
+           "kernel-oracle" in ctx.file_suppressions:
+            continue
+        family_files = [c for p, c in contexts.items()
+                        if p.startswith("src/") and kernel_family(p) == family]
+        has_oracle = any(scalar_re.search(l)
+                         for c in family_files for l in c.code)
+        if not has_oracle:
+            findings.append(Finding(
+                relpath, line, "kernel-oracle",
+                "SIMD dispatch in family '%s' has no scalar-oracle twin "
+                "(no [Ss]calar symbol in %s.*); every fast path needs a "
+                "portable cross-check kernel (DESIGN.md §10)"
+                % (family, family)))
+            continue
+        family_re = re.compile(r"\b%s\b" % re.escape(family), re.IGNORECASE)
+        tested = any(
+            any(family_re.search(l) for l in c.code) and
+            any(scalar_re.search(l) for l in c.code)
+            for p, c in contexts.items() if p.startswith("tests/"))
+        if not tested:
+            findings.append(Finding(
+                relpath, line, "kernel-oracle",
+                "SIMD dispatch in family '%s' has no tests/ property test "
+                "referencing both the family and its scalar oracle "
+                "(DESIGN.md §10 contract)" % family))
+
+
+def check_d4_nodiscard(ctx, findings):
+    if not ctx.relpath.startswith("src/") or \
+       not ctx.relpath.endswith((".h", ".hpp")):
+        return
+    base = os.path.basename(ctx.relpath)
+    if base in ("status.h", "result.h"):
+        for i, code in enumerate(ctx.code, start=1):
+            m = PLAIN_CLASS_RE.search(code)
+            if m and not NODISCARD_CLASS_RE.search(code) and \
+               not ctx.suppressed("nodiscard", i):
+                findings.append(Finding(
+                    ctx.relpath, i, "nodiscard",
+                    "class %s must be declared `class [[nodiscard]] %s`: "
+                    "dropping it drops an error (rule D4)"
+                    % (m.group(1), m.group(1))))
+    for i, code in enumerate(ctx.code, start=1):
+        stripped = code.strip()
+        # Filter statements/expressions: calls, assignments, control flow.
+        if not stripped or stripped.startswith(("return", "if", "for",
+                                                "while", "switch", "case",
+                                                "#", "}", "using")):
+            continue
+        if "=" in stripped.split("(")[0]:
+            continue
+        m = FACTORY_DECL_RE.match(stripped)
+        if not m:
+            continue
+        if "[[nodiscard]]" in stripped:
+            continue
+        # Declarations returning void (EncodeTo-style sinks) are exempt.
+        if re.match(r"^(?:(?:static|virtual|inline)\s+)*void[\s&*]", stripped):
+            continue
+        if ctx.suppressed("nodiscard", i):
+            continue
+        findings.append(Finding(
+            ctx.relpath, i, "nodiscard",
+            "factory/decoder/verifier '%s' must be [[nodiscard]]: ignoring "
+            "its result swallows an error or a verification verdict "
+            "(suppress: // lint: nodiscard-ok(why))" % m.group(1)))
+
+
+def check_unused_suppressions(ctx, findings):
+    for (line, rule), used in sorted(ctx.suppression_sites.items()):
+        if not used and rule != "unused-suppression":
+            findings.append(Finding(
+                ctx.relpath, line, "unused-suppression",
+                "suppression for '%s' matches no finding; remove it so "
+                "suppressions stay load-bearing" % rule))
+    for line, msg in ctx.bad_suppressions:
+        findings.append(Finding(ctx.relpath, line, "unused-suppression", msg))
+
+
+def gather_files(root, explicit_paths):
+    rels = []
+    if explicit_paths:
+        for p in explicit_paths:
+            ap = os.path.abspath(p)
+            rels.append(os.path.relpath(ap, root))
+        return rels
+    for d in SCAN_DIRS:
+        top = os.path.join(root, d)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    rels.append(os.path.relpath(
+                        os.path.join(dirpath, name), root))
+    return rels
+
+
+def run(root, explicit_paths):
+    contexts = {}
+    for rel in gather_files(root, explicit_paths):
+        rel = rel.replace(os.sep, "/")
+        contexts[rel] = FileContext(root, rel)
+
+    findings = []
+    unordered_names = collect_unordered_names(contexts)
+    for ctx in contexts.values():
+        check_d1_wallclock(ctx, findings)
+        check_d2_unordered_iter(ctx, unordered_names, findings)
+        check_d4_nodiscard(ctx, findings)
+    check_d3_kernel_oracle(contexts, findings)
+    for ctx in contexts.values():
+        check_unused_suppressions(ctx, findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="MassBFT determinism & status-discipline linter "
+                    "(rules D1-D4, DESIGN.md §11)")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to lint (default: src/, "
+                             "bench/, tests/ under --root)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, rid in sorted(RULES.items(), key=lambda kv: kv[1]):
+            print("%s  %s" % (rid, rule))
+        return 0
+
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print("massbft_lint: no such root: %s" % root, file=sys.stderr)
+        return 2
+
+    findings = run(root, args.paths)
+    for f in findings:
+        print(f)
+    if findings:
+        print("massbft_lint: %d finding(s)" % len(findings), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,18 @@
+// Fixture: D4 seeded violation — Status without the class-level
+// [[nodiscard]] annotation.
+#ifndef FAKE_STATUS_H_
+#define FAKE_STATUS_H_
+
+namespace massbft {
+
+class Status {
+ public:
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  bool ok_ = true;
+};
+
+}  // namespace massbft
+
+#endif  // FAKE_STATUS_H_

@@ -1,0 +1,19 @@
+// Fixture: D3 seeded violation — the family has a scalar oracle but no
+// tests/ property test references family + oracle together.
+namespace massbft {
+
+struct CpuFeatures { bool avx2 = false; };
+const CpuFeatures& GetCpuFeatures();
+
+void KernelScalar();
+void KernelAvx2();
+
+void Dispatch() {
+  if (GetCpuFeatures().avx2) {  // D3: scalar twin exists, but untested
+    KernelAvx2();
+  } else {
+    KernelScalar();
+  }
+}
+
+}  // namespace massbft

@@ -1,0 +1,12 @@
+// Fixture: D3 seeded violation — a SIMD dispatch site with no scalar-oracle
+// twin anywhere in its family.
+namespace massbft {
+
+struct CpuFeatures { bool avx2 = false; };
+const CpuFeatures& GetCpuFeatures();
+
+int PickKernel() {
+  return GetCpuFeatures().avx2 ? 2 : 0;  // D3: no [Ss]calar twin in family
+}
+
+}  // namespace massbft

@@ -1,0 +1,16 @@
+// Fixture: D4 seeded violation — decoder/verifier APIs declared without
+// [[nodiscard]].
+#ifndef FAKE_BAD_FACTORY_H_
+#define FAKE_BAD_FACTORY_H_
+
+namespace massbft {
+
+class Thing {
+ public:
+  static Thing DecodeThing(const char* data, int len);  // D4: not nodiscard
+  bool VerifyThing() const;                             // D4: not nodiscard
+};
+
+}  // namespace massbft
+
+#endif  // FAKE_BAD_FACTORY_H_

@@ -1,0 +1,25 @@
+// Fixture: D2 seeded violations — iteration over an unordered container in
+// protocol/sim scope, both range-for and explicit iterator walk.
+#include <cstdint>
+#include <unordered_map>
+
+namespace massbft {
+
+struct PendingQueue {
+  std::unordered_map<uint32_t, int> pending_;
+
+  int SumRangeFor() const {
+    int total = 0;
+    for (const auto& [id, n] : pending_) total += n;  // D2: range-for
+    return total;
+  }
+
+  int SumIterators() const {
+    int total = 0;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it)  // D2
+      total += it->second;
+    return total;
+  }
+};
+
+}  // namespace massbft

@@ -1,0 +1,20 @@
+// Fixture: D1 seeded violations — every banned ambient-nondeterminism
+// source in protocol/sim scope.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace massbft {
+
+double WallSeconds() {
+  auto t = std::chrono::system_clock::now();   // D1: system_clock
+  (void)t;
+  return static_cast<double>(time(nullptr));   // D1: time()
+}
+
+int AmbientRandom() {
+  srand(42);                                   // D1: srand()
+  return rand();                               // D1: rand()
+}
+
+}  // namespace massbft

@@ -1,0 +1,41 @@
+// Fixture: clean file — legal constructs near every rule's boundary, plus
+// one load-bearing suppression. Must produce zero findings.
+#include <cstdint>
+#include <ctime>
+#include <map>
+#include <unordered_map>
+
+namespace massbft {
+
+using SimTime = uint64_t;
+
+struct Stats {
+  // Ordered map: iteration is deterministic, D2 does not apply.
+  std::map<uint32_t, int> per_node_;
+  // Unordered map is fine to own and point-query; only iteration is banned.
+  std::unordered_map<uint32_t, int> index_;
+
+  int Sum() const {
+    int total = 0;
+    for (const auto& [id, n] : per_node_) total += n;
+    return total;
+  }
+
+  int Lookup(uint32_t id) const {
+    auto it = index_.find(id);
+    return it == index_.end() ? 0 : it->second;  // end() alone: not a walk
+  }
+
+  int SumIndex() const {
+    int total = 0;
+    // lint: unordered-iter-ok(commutative integer sum, order-independent)
+    for (const auto& [id, n] : index_) total += n;
+    return total;
+  }
+};
+
+// Identifiers merely containing banned substrings must not fire D1.
+SimTime submit_time(SimTime base) { return base + 1; }
+int brand(int x) { return x * 2; }
+
+}  // namespace massbft

@@ -1,0 +1,7 @@
+// Fixture: D5 seeded violation — a suppression that matches no finding.
+namespace massbft {
+
+// lint: wallclock-ok(left over after the violation was fixed)
+int FormerlyUsedWallClock() { return 7; }
+
+}  // namespace massbft
