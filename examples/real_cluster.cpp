@@ -1,0 +1,72 @@
+// Real cluster: a 3-group x 4-node MassBFT cluster where every node runs
+// on its own thread and all protocol messages cross an actual transport —
+// the full wire codec either over an in-process fabric or over localhost
+// TCP sockets. Drives YCSB-A closed-loop clients for a few seconds, drains,
+// and verifies that every node executed the same entries and holds the
+// same state fingerprint.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/real_cluster [--tcp] [--seconds N] [--clients N]
+//
+// Exits non-zero if fewer than 1000 transactions commit or any node's
+// state diverges.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/config.h"
+#include "runtime/cluster.h"
+
+using namespace massbft;
+
+int main(int argc, char** argv) {
+  RealClusterConfig config;
+  config.topology = TopologyConfig::Nationwide(/*num_groups=*/3,
+                                               /*nodes_per_group=*/4);
+  config.protocol = ProtocolConfig::MassBft();
+  config.workload = WorkloadKind::kYcsbA;
+  config.workload_scale = 0.05;
+  config.clients_per_group = 32;
+  config.duration_seconds = 3.0;
+  config.seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tcp") == 0) config.use_tcp = true;
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
+      config.duration_seconds = std::stod(argv[++i]);
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
+      config.clients_per_group = std::stoi(argv[++i]);
+  }
+
+  std::printf("transport: %s\n", config.use_tcp ? "tcp" : "in-process");
+
+  RealCluster cluster(config);
+  Status setup = cluster.Setup();
+  if (!setup.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", setup.ToString().c_str());
+    return 1;
+  }
+  auto result = cluster.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", result->ToJson().c_str());
+  std::printf("committed=%llu throughput=%.0f tps mean=%.1fms p99=%.1fms\n",
+              static_cast<unsigned long long>(result->committed_txns),
+              result->throughput_tps, result->mean_latency_ms,
+              result->p99_latency_ms);
+
+  if (result->committed_txns < 1000) {
+    std::fprintf(stderr, "FAIL: committed %llu < 1000 transactions\n",
+                 static_cast<unsigned long long>(result->committed_txns));
+    return 1;
+  }
+  std::printf("PASS: all 12 nodes agree on execution log and state "
+              "fingerprint\n");
+  return 0;
+}

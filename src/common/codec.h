@@ -10,6 +10,17 @@
 
 namespace massbft {
 
+/// Encoded size of `v` as an unsigned LEB128 varint (1-10 bytes). Lets
+/// ByteSize() helpers stay exact without running an encoder.
+constexpr size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 /// Append-only little-endian binary encoder. All wire messages in proto/
 /// serialize through this so that the byte counts charged to simulated
 /// links are the real encoded sizes.

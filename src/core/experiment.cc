@@ -27,6 +27,7 @@ std::string ExperimentResult::ToJson() const {
   std::ostringstream out;
   obs::JsonWriter w(out);
   w.BeginObject();
+  w.Member("mode", mode);
   w.Member("throughput_tps", throughput_tps);
   w.Member("mean_latency_ms", mean_latency_ms);
   w.Member("p50_latency_ms", p50_latency_ms);
@@ -36,6 +37,7 @@ std::string ExperimentResult::ToJson() const {
   w.Member("conflict_aborts", conflict_aborts);
   w.Member("avg_batch_size", avg_batch_size);
   w.Member("total_wan_bytes", total_wan_bytes);
+  w.Member("total_lan_bytes", total_lan_bytes);
   w.Member("entries_proposed", entries_proposed);
   w.Member("wan_bytes_per_entry", wan_bytes_per_entry);
   w.Member("sim_events", sim_events);
@@ -292,6 +294,7 @@ ExperimentResult Experiment::Run() {
           : phases.batch_size_sum /
                 static_cast<double>(result.entries_proposed);
   result.total_wan_bytes = network_->TotalWanBytesSent();
+  result.total_lan_bytes = network_->TotalLanBytesSent();
   result.wan_bytes_per_entry =
       result.entries_proposed == 0
           ? 0

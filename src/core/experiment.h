@@ -59,6 +59,9 @@ struct ExperimentConfig {
 
 /// Aggregated outcome of a run.
 struct ExperimentResult {
+  /// "sim" for discrete-event runs, "real" when produced by the threaded
+  /// runtime over an actual transport (runtime/RealCluster).
+  std::string mode = "sim";
   double throughput_tps = 0;
   double mean_latency_ms = 0;
   double p50_latency_ms = 0;
@@ -69,7 +72,10 @@ struct ExperimentResult {
   uint64_t aborted_txns = 0;
   uint64_t conflict_aborts = 0;
   double avg_batch_size = 0;
+  /// Encoded bytes actually put on (simulated or real) links. In sim mode
+  /// these are the same encoder-derived sizes the transport would send.
   uint64_t total_wan_bytes = 0;
+  uint64_t total_lan_bytes = 0;
   uint64_t entries_proposed = 0;
   /// WAN bytes per proposed entry (replication efficiency, Fig 10).
   double wan_bytes_per_entry = 0;

@@ -2,6 +2,29 @@
 
 namespace massbft {
 
+void MerkleProof::EncodeTo(BinaryWriter* w) const {
+  w->PutU32(index);
+  w->PutU32(leaf_count);
+  w->PutU16(static_cast<uint16_t>(path.size()));
+  for (const Digest& d : path) w->PutRaw(d.data(), d.size());
+}
+
+Result<MerkleProof> MerkleProof::DecodeFrom(BinaryReader* r) {
+  MerkleProof proof;
+  MASSBFT_RETURN_IF_ERROR(r->GetU32(&proof.index));
+  MASSBFT_RETURN_IF_ERROR(r->GetU32(&proof.leaf_count));
+  uint16_t len = 0;
+  MASSBFT_RETURN_IF_ERROR(r->GetU16(&len));
+  // A binary tree over <= 2^32 leaves has depth <= 32; anything larger is
+  // a malformed frame, rejected before allocating.
+  if (len > 64) return Status::Corruption("implausible Merkle path length");
+  proof.path.resize(len);
+  for (uint16_t i = 0; i < len; ++i)
+    MASSBFT_RETURN_IF_ERROR(r->GetRaw(proof.path[i].data(),
+                                      proof.path[i].size()));
+  return proof;
+}
+
 Digest MerkleTree::HashPair(const Digest& left, const Digest& right) {
   Sha256 h;
   // Domain separation tag for interior nodes.

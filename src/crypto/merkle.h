@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/codec.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "crypto/sha256.h"
@@ -19,8 +20,13 @@ struct MerkleProof {
   uint32_t leaf_count = 0;
   std::vector<Digest> path;
 
-  /// Encoded wire size in bytes (charged against simulated links).
-  size_t ByteSize() const { return 8 + path.size() * sizeof(Digest); }
+  /// Wire codec: u32 index, u32 leaf_count, u16 path length, raw digests.
+  void EncodeTo(BinaryWriter* w) const;
+  [[nodiscard]] static Result<MerkleProof> DecodeFrom(BinaryReader* r);
+
+  /// Encoded wire size in bytes (matches EncodeTo; charged against
+  /// simulated links).
+  size_t ByteSize() const { return 4 + 4 + 2 + path.size() * sizeof(Digest); }
 };
 
 /// Binary Merkle tree over a list of data blocks (erasure-coded chunks in

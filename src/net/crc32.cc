@@ -1,0 +1,31 @@
+#include "net/crc32.h"
+
+#include <array>
+
+namespace massbft {
+
+namespace {
+
+constexpr uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? kPoly ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32::Update(const uint8_t* data, size_t len) {
+  uint32_t c = state_;
+  for (size_t i = 0; i < len; ++i) c = kTable[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  state_ = c;
+}
+
+}  // namespace massbft

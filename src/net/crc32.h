@@ -1,0 +1,34 @@
+#ifndef MASSBFT_NET_CRC32_H_
+#define MASSBFT_NET_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace massbft {
+
+/// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used as
+/// the wire frame checksum. Catches corruption that slips past TCP's weak
+/// 16-bit checksum; it is not a cryptographic integrity check — signatures
+/// and digests provide that at the protocol layer.
+class Crc32 {
+ public:
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+  uint32_t Finish() const { return ~state_; }
+
+  static uint32_t Compute(const uint8_t* data, size_t len) {
+    Crc32 crc;
+    crc.Update(data, len);
+    return crc.Finish();
+  }
+  static uint32_t Compute(const Bytes& b) { return Compute(b.data(), b.size()); }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_CRC32_H_

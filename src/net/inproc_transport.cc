@@ -1,0 +1,103 @@
+#include "net/inproc_transport.h"
+
+#include <utility>
+
+namespace massbft {
+
+class InProcHub::Endpoint : public Transport {
+ public:
+  Endpoint(InProcHub* hub, NodeId self) : hub_(hub), self_(self) {}
+
+  ~Endpoint() override { Stop(); }
+
+  Status Start(DeliverFn deliver) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    deliver_ = std::move(deliver);
+    return Status::OK();
+  }
+
+  Status Send(NodeId dst, const ProtocolMessage& msg) override {
+    Bytes wire = EncodeFrame(msg, self_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.frames_sent++;
+      stats_.bytes_sent += wire.size();
+    }
+    if (!hub_->Route(dst, wire)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.send_errors++;
+      return Status::NotFound("destination transport not started");
+    }
+    return Status::OK();
+  }
+
+  void Stop() override {
+    hub_->Deregister(self_);
+    std::lock_guard<std::mutex> lock(mu_);
+    deliver_ = nullptr;
+  }
+
+  NodeId self() const override { return self_; }
+
+  Stats stats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+  /// Called by the hub on the sender's thread.
+  void Receive(const Bytes& wire) {
+    DeliverFn deliver;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.bytes_received += wire.size();
+      deliver = deliver_;
+    }
+    if (!deliver) return;
+    auto frame = DecodeFrame(wire);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!frame.ok()) {
+        stats_.decode_errors++;
+        return;
+      }
+      stats_.frames_received++;
+    }
+    // Deliver outside mu_: the callback runs arbitrary receiver code.
+    deliver(std::move(*frame));
+  }
+
+ private:
+  InProcHub* hub_;
+  NodeId self_;
+  mutable std::mutex mu_;
+  DeliverFn deliver_;
+  Stats stats_;
+};
+
+InProcHub::~InProcHub() = default;
+
+std::unique_ptr<Transport> InProcHub::CreateTransport(NodeId self) {
+  auto endpoint = std::make_unique<Endpoint>(this, self);
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[self.Packed()] = endpoint.get();
+  return endpoint;
+}
+
+bool InProcHub::Route(NodeId dst, const Bytes& wire) {
+  Endpoint* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = endpoints_.find(dst.Packed());
+    if (it != endpoints_.end()) target = it->second;
+  }
+  if (!target) return false;
+  target->Receive(wire);
+  return true;
+}
+
+void InProcHub::Deregister(NodeId self) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_.erase(self.Packed());
+}
+
+}  // namespace massbft

@@ -1,0 +1,286 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace massbft {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 50;
+constexpr int kDialAttempts = 40;
+constexpr auto kDialRetryDelay = std::chrono::milliseconds(50);
+constexpr size_t kReadChunk = 64 * 1024;
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+int DialOnce(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    CloseFd(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpPortMap MakeLocalPortMap(const std::vector<int>& group_sizes,
+                            uint16_t base) {
+  TcpPortMap ports;
+  uint16_t next = base;
+  for (size_t g = 0; g < group_sizes.size(); ++g)
+    for (int i = 0; i < group_sizes[g]; ++i)
+      ports[NodeId{static_cast<uint16_t>(g), static_cast<uint16_t>(i)}
+                .Packed()] = next++;
+  return ports;
+}
+
+TcpTransport::TcpTransport(NodeId self, TcpPortMap ports)
+    : self_(self), ports_(std::move(ports)) {}
+
+TcpTransport::~TcpTransport() { Stop(); }
+
+Status TcpTransport::Start(DeliverFn deliver) {
+  auto it = ports_.find(self_.Packed());
+  if (it == ports_.end())
+    return Status::InvalidArgument("self has no port assignment");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(it->second);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen() failed");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("pipe() failed");
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deliver_ = std::move(deliver);
+    running_ = true;
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+void TcpTransport::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  // Wake the poll loop so it observes the flag.
+  uint8_t byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (io_thread_.joinable()) io_thread_.join();
+
+  CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+
+  std::lock_guard<std::mutex> peers_lock(peers_mu_);
+  for (auto& [packed, peer] : peers_) {
+    std::lock_guard<std::mutex> peer_lock(peer->mu);
+    CloseFd(peer->fd);
+    peer->fd = -1;
+  }
+}
+
+Status TcpTransport::Send(NodeId dst, const ProtocolMessage& msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::FailedPrecondition("transport stopped");
+  }
+  Peer* peer;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    auto& slot = peers_[dst.Packed()];
+    if (!slot) slot = std::make_unique<Peer>();
+    peer = slot.get();
+  }
+
+  Bytes wire = EncodeFrame(msg, self_);
+  std::lock_guard<std::mutex> peer_lock(peer->mu);
+  if (peer->fd < 0) peer->fd = DialLocked(dst.Packed());
+  if (peer->fd < 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.send_errors++;
+    return Status::Unavailable("connect failed");
+  }
+  if (!WriteAll(peer->fd, wire.data(), wire.size())) {
+    CloseFd(peer->fd);
+    peer->fd = -1;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.send_errors++;
+    return Status::Unavailable("write failed");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.frames_sent++;
+  stats_.bytes_sent += wire.size();
+  return Status::OK();
+}
+
+int TcpTransport::DialLocked(uint32_t dst_packed) {
+  auto it = ports_.find(dst_packed);
+  if (it == ports_.end()) return -1;
+  for (int attempt = 0; attempt < kDialAttempts; ++attempt) {
+    int fd = DialOnce(it->second);
+    if (fd >= 0) return fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) return -1;
+    }
+    std::this_thread::sleep_for(kDialRetryDelay);
+  }
+  return -1;
+}
+
+bool TcpTransport::DrainFrames(Conn& conn) {
+  size_t offset = 0;
+  while (conn.buffer.size() - offset >= kFrameHeaderBytes) {
+    auto frame_len =
+        PeekFrameLength(conn.buffer.data() + offset, conn.buffer.size() - offset);
+    if (!frame_len.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.decode_errors++;
+      return false;  // Framing lost; drop the connection.
+    }
+    if (conn.buffer.size() - offset < *frame_len) break;  // Partial frame.
+    auto frame = DecodeFrame(conn.buffer.data() + offset, *frame_len);
+    offset += *frame_len;
+    DeliverFn deliver;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!frame.ok()) {
+        stats_.decode_errors++;
+        return false;
+      }
+      stats_.frames_received++;
+      stats_.bytes_received += *frame_len;
+      deliver = deliver_;
+    }
+    if (deliver) deliver(std::move(*frame));
+  }
+  if (offset > 0)
+    conn.buffer.erase(conn.buffer.begin(),
+                      conn.buffer.begin() + static_cast<ptrdiff_t>(offset));
+  return true;
+}
+
+void TcpTransport::IoLoop() {
+  std::vector<Conn> conns;
+  std::vector<pollfd> fds;
+  Bytes chunk(kReadChunk);
+
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) break;
+    }
+    fds.clear();
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    fds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    for (const Conn& c : conns) fds.push_back(pollfd{c.fd, POLLIN, 0});
+
+    int ready = ::poll(fds.data(), fds.size(), kPollTimeoutMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        conns.push_back(Conn{fd, {}});
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      uint8_t byte;
+      [[maybe_unused]] ssize_t n = ::read(wake_pipe_[0], &byte, 1);
+    }
+
+    // Walk connections back-to-front so erasing doesn't shift unvisited
+    // entries. fds[i + 2] corresponds to conns[i].
+    for (size_t i = conns.size(); i-- > 0;) {
+      if (!(fds[i + 2].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Conn& conn = conns[i];
+      ssize_t n = ::read(conn.fd, chunk.data(), chunk.size());
+      bool keep = n > 0;
+      if (n > 0) {
+        conn.buffer.insert(conn.buffer.end(), chunk.begin(),
+                           chunk.begin() + n);
+        keep = DrainFrames(conn);
+      } else if (n < 0 && (errno == EINTR || errno == EAGAIN)) {
+        keep = true;
+      }
+      if (!keep) {
+        CloseFd(conn.fd);
+        conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+  }
+
+  for (Conn& c : conns) CloseFd(c.fd);
+}
+
+Transport::Stats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace massbft

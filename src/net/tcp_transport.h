@@ -1,0 +1,83 @@
+#ifndef MASSBFT_NET_TCP_TRANSPORT_H_
+#define MASSBFT_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/transport.h"
+
+namespace massbft {
+
+/// Maps every node to its TCP listen port on 127.0.0.1.
+using TcpPortMap = std::unordered_map<uint32_t, uint16_t>;  // Packed -> port
+
+/// Assigns consecutive ports starting at `base` to every node of the
+/// given group sizes, group-major (the order of Topology::AllNodes()).
+[[nodiscard]] TcpPortMap MakeLocalPortMap(const std::vector<int>& group_sizes,
+                                          uint16_t base);
+
+/// Length-prefixed frame transport over localhost TCP.
+///
+/// One background I/O thread per transport polls the listen socket and all
+/// accepted connections; complete frames are decoded and handed to the
+/// deliver callback on that thread. Sends run on the caller's thread over
+/// lazily-established outbound connections (one per destination, guarded by
+/// a per-destination mutex), so connections are used one-directionally:
+/// A->B traffic flows on the connection A dialed, B->A on B's.
+///
+/// Frames carry the sender id, so no handshake is needed; a reader learns
+/// who is talking from the frames themselves. A connection that delivers a
+/// corrupt frame is closed (stream framing is lost once bytes are bad);
+/// the peer re-dials on its next send.
+class TcpTransport : public Transport {
+ public:
+  TcpTransport(NodeId self, TcpPortMap ports);
+  ~TcpTransport() override;
+
+  [[nodiscard]] Status Start(DeliverFn deliver) override;
+  [[nodiscard]] Status Send(NodeId dst, const ProtocolMessage& msg) override;
+  void Stop() override;
+  NodeId self() const override { return self_; }
+  Stats stats() const override;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    Bytes buffer;  // Unconsumed inbound bytes.
+  };
+  struct Peer {
+    std::mutex mu;  // Serializes connect+write per destination.
+    int fd = -1;
+  };
+
+  void IoLoop();
+  /// Consumes complete frames from `conn.buffer`; returns false when the
+  /// connection must be closed (corrupt stream).
+  bool DrainFrames(Conn& conn);
+  /// Dials `dst`, retrying briefly so Start() races at cluster boot don't
+  /// drop the first messages. Returns -1 on failure.
+  int DialLocked(uint32_t dst_packed);
+
+  NodeId self_;
+  TcpPortMap ports_;
+
+  mutable std::mutex mu_;  // Guards deliver_, stats_, running flips.
+  DeliverFn deliver_;
+  Stats stats_;
+  bool running_ = false;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread io_thread_;
+
+  std::mutex peers_mu_;  // Guards the peers_ map itself.
+  std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_TCP_TRANSPORT_H_

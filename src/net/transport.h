@@ -1,0 +1,56 @@
+#ifndef MASSBFT_NET_TRANSPORT_H_
+#define MASSBFT_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "crypto/signature.h"  // NodeId
+#include "net/wire.h"
+
+namespace massbft {
+
+/// Point-to-point frame transport for one node. Implementations encode
+/// outgoing messages with EncodeFrame and hand decoded frames to the
+/// deliver callback.
+///
+/// Threading contract: Send() may be called from any thread after Start().
+/// The deliver callback may be invoked from a transport-internal thread (or
+/// from the *sender's* thread for the in-process transport) — receivers
+/// must enqueue into their own event loop rather than process inline.
+class Transport {
+ public:
+  using DeliverFn = std::function<void(Frame frame)>;
+
+  struct Stats {
+    uint64_t frames_sent = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t frames_received = 0;
+    uint64_t bytes_received = 0;
+    /// Frames dropped on receive: CRC mismatch, malformed body, bad header.
+    uint64_t decode_errors = 0;
+    /// Sends dropped because the destination was unknown or unreachable.
+    uint64_t send_errors = 0;
+  };
+
+  virtual ~Transport() = default;
+
+  /// Begins delivering inbound frames. Must be called before Send().
+  [[nodiscard]] virtual Status Start(DeliverFn deliver) = 0;
+
+  /// Encodes and sends `msg` to `dst`. Delivery is best-effort (the BFT
+  /// layer owns retries/timeouts); an error Status reports only local
+  /// failures such as an unknown destination.
+  [[nodiscard]] virtual Status Send(NodeId dst, const ProtocolMessage& msg) = 0;
+
+  /// Stops delivery and releases transport resources. Idempotent. After
+  /// Stop() returns, the deliver callback will not be invoked again.
+  virtual void Stop() = 0;
+
+  virtual NodeId self() const = 0;
+  virtual Stats stats() const = 0;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_TRANSPORT_H_

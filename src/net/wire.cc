@@ -1,0 +1,85 @@
+#include "net/wire.h"
+
+#include "common/codec.h"
+#include "net/crc32.h"
+
+namespace massbft {
+
+Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src) {
+  BinaryWriter body;
+  msg.EncodeBodyTo(&body);
+
+  BinaryWriter w(kFrameHeaderBytes + body.size());
+  w.PutU32(kWireMagic);
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(msg.message_type()));
+  w.PutU32(src.Packed());
+  w.PutU32(static_cast<uint32_t>(body.size()));
+
+  Crc32 crc;
+  crc.Update(w.buffer().data() + 4, 10);  // version..body_len
+  crc.Update(body.buffer());
+  w.PutU32(crc.Finish());
+  w.PutRaw(body.buffer().data(), body.size());
+  return w.Release();
+}
+
+Result<size_t> PeekFrameLength(const uint8_t* data, size_t len) {
+  if (len < kFrameHeaderBytes)
+    return Status::InvalidArgument("need a full header to size a frame");
+  BinaryReader r(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint32_t src = 0;
+  uint32_t body_len = 0;
+  MASSBFT_RETURN_IF_ERROR(r.GetU32(&magic));
+  MASSBFT_RETURN_IF_ERROR(r.GetU8(&version));
+  MASSBFT_RETURN_IF_ERROR(r.GetU8(&type));
+  MASSBFT_RETURN_IF_ERROR(r.GetU32(&src));
+  MASSBFT_RETURN_IF_ERROR(r.GetU32(&body_len));
+  if (magic != kWireMagic) return Status::Corruption("bad frame magic");
+  if (version != kWireVersion)
+    return Status::Corruption("unsupported wire version");
+  if (body_len > kMaxBodyBytes)
+    return Status::Corruption("frame body length over cap");
+  return kFrameHeaderBytes + static_cast<size_t>(body_len);
+}
+
+Result<Frame> DecodeFrame(const uint8_t* data, size_t len) {
+  MASSBFT_ASSIGN_OR_RETURN(size_t frame_len, PeekFrameLength(data, len));
+  if (len < frame_len) return Status::Corruption("truncated frame");
+  if (len > frame_len) return Status::Corruption("trailing bytes after frame");
+
+  BinaryReader header(data, kFrameHeaderBytes);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t type = 0;
+  uint32_t src_packed = 0;
+  uint32_t body_len = 0;
+  uint32_t claimed_crc = 0;
+  MASSBFT_RETURN_IF_ERROR(header.GetU32(&magic));
+  MASSBFT_RETURN_IF_ERROR(header.GetU8(&version));
+  MASSBFT_RETURN_IF_ERROR(header.GetU8(&type));
+  MASSBFT_RETURN_IF_ERROR(header.GetU32(&src_packed));
+  MASSBFT_RETURN_IF_ERROR(header.GetU32(&body_len));
+  MASSBFT_RETURN_IF_ERROR(header.GetU32(&claimed_crc));
+
+  Crc32 crc;
+  crc.Update(data + 4, 10);
+  crc.Update(data + kFrameHeaderBytes, body_len);
+  if (crc.Finish() != claimed_crc)
+    return Status::Corruption("frame CRC mismatch");
+
+  BinaryReader body(data + kFrameHeaderBytes, body_len);
+  MASSBFT_ASSIGN_OR_RETURN(
+      std::unique_ptr<ProtocolMessage> msg,
+      DecodeMessageBody(static_cast<MessageType>(type), &body));
+  return Frame{NodeId::FromPacked(src_packed), std::move(msg)};
+}
+
+Result<Frame> DecodeFrame(const Bytes& buf) {
+  return DecodeFrame(buf.data(), buf.size());
+}
+
+}  // namespace massbft

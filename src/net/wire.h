@@ -1,0 +1,65 @@
+#ifndef MASSBFT_NET_WIRE_H_
+#define MASSBFT_NET_WIRE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/signature.h"  // NodeId
+#include "proto/messages.h"
+
+namespace massbft {
+
+/// Frame layout (little-endian, DESIGN.md §12):
+///
+///   offset  size  field
+///        0     4  magic "MBFT"
+///        4     1  wire version
+///        5     1  message type (MessageType)
+///        6     4  sender NodeId (NodeId::Packed)
+///       10     4  body length
+///       14     4  CRC-32 over bytes [4, 14) and the body
+///       18   ...  body (ProtocolMessage::EncodeBodyTo)
+///
+/// The magic is excluded from the CRC so a resynchronizing reader can
+/// cheaply test candidate offsets; everything else is covered.
+
+/// On-wire bytes 'M' 'B' 'F' 'T' read as a little-endian u32.
+constexpr uint32_t kWireMagic = 0x5446424Du;
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderBytes = 18;
+// The simulator charges kFrameOverheadBytes per message; the real wire must
+// cost exactly the same.
+static_assert(kFrameHeaderBytes == kFrameOverheadBytes,
+              "frame header layout diverged from simulated accounting");
+
+/// Decode-side cap on the claimed body length: bounds the allocation a
+/// malformed or hostile frame can trigger. Generous — the largest honest
+/// frame is an entry transfer of a full batch (a few MB).
+constexpr uint32_t kMaxBodyBytes = 64u << 20;
+
+/// A decoded frame: who sent it and the reconstructed message.
+struct Frame {
+  NodeId src;
+  std::unique_ptr<ProtocolMessage> msg;
+};
+
+/// Serializes `msg` into a self-contained frame from `src`.
+[[nodiscard]] Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src);
+
+/// Parses one complete frame. The buffer must contain exactly the frame
+/// (PeekFrameLength gives the boundary when streaming). Returns Corruption
+/// on bad magic/version/length/CRC, unknown type, or malformed body.
+[[nodiscard]] Result<Frame> DecodeFrame(const uint8_t* data, size_t len);
+[[nodiscard]] Result<Frame> DecodeFrame(const Bytes& buf);
+
+/// Streaming helper: given at least kFrameHeaderBytes of buffered input,
+/// returns the total length of the frame starting at `data` (header +
+/// body), validating magic, version and the body-length cap so a reader
+/// never waits on a frame that can't be completed.
+[[nodiscard]] Result<size_t> PeekFrameLength(const uint8_t* data, size_t len);
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_WIRE_H_

@@ -27,7 +27,9 @@ struct Transaction {
 
   void EncodeTo(BinaryWriter* w) const;
   [[nodiscard]] static Result<Transaction> DecodeFrom(BinaryReader* r);
-  size_t ByteSize() const { return 8 + 4 + 8 + 2 + payload.size(); }
+  size_t ByteSize() const {
+    return 8 + 4 + 8 + VarintSize(payload.size()) + payload.size();
+  }
 
   friend bool operator==(const Transaction&, const Transaction&) = default;
 };

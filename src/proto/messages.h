@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/codec.h"
+#include "common/result.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "crypto/signature.h"
@@ -47,26 +50,54 @@ enum class MessageType : uint8_t {
   kCatchUpDone = 53,
 };
 
-/// Fixed per-message envelope overhead (type tag, sender/receiver ids,
-/// length field) charged on every message in addition to the body.
-constexpr size_t kEnvelopeBytes = 16;
+/// Fixed frame overhead charged on every message in addition to the body:
+/// the net/ wire format's frame header (magic u32, version u8, type u8,
+/// sender NodeId u32, body length u32, CRC32 u32 — see DESIGN.md §12).
+/// net/wire.cc static_asserts that its header layout matches this constant,
+/// so simulated link accounting and the real transport charge identical
+/// per-message overhead.
+constexpr size_t kFrameOverheadBytes = 4 + 1 + 1 + 4 + 4 + 4;
 
-/// Common base caching the body size (computed once at construction).
+/// Common base for every wire message. The encoded body is the single
+/// source of truth for message size: ByteSize() runs the real encoder once
+/// and memoizes the result (messages are immutable after construction and
+/// not shared across threads before their first ByteSize/encode, so the
+/// lazy init is safe in both the single-threaded simulation and the
+/// runtime, where each message is encoded on its sending node's thread).
 class ProtocolMessage : public SimMessage {
  public:
   explicit ProtocolMessage(MessageType type) : type_(type) {}
 
   int type() const override { return static_cast<int>(type_); }
   MessageType message_type() const { return type_; }
-  size_t ByteSize() const override { return kEnvelopeBytes + body_size_; }
+  size_t ByteSize() const override { return kFrameOverheadBytes + body_size(); }
 
- protected:
-  void set_body_size(size_t s) { body_size_ = s; }
+  /// Serializes the message body (everything after the frame header) in the
+  /// canonical wire layout. DecodeMessageBody() inverts it.
+  virtual void EncodeBodyTo(BinaryWriter* w) const = 0;
+
+  /// Encoded body size in bytes, derived from the real encoder.
+  size_t body_size() const {
+    if (body_size_ == kUnknownBodySize) {
+      BinaryWriter w;
+      EncodeBodyTo(&w);
+      body_size_ = w.size();
+    }
+    return body_size_;
+  }
 
  private:
+  static constexpr size_t kUnknownBodySize = static_cast<size_t>(-1);
+
   MessageType type_;
-  size_t body_size_ = 0;
+  mutable size_t body_size_ = kUnknownBodySize;
 };
+
+/// Decodes one message body of the given type (the inverse of
+/// EncodeBodyTo). Rejects unknown types, truncated or trailing bytes with
+/// an error Status — never crashes on malformed input.
+[[nodiscard]] Result<std::unique_ptr<ProtocolMessage>> DecodeMessageBody(
+    MessageType type, BinaryReader* r);
 
 // ------------------------------------------------------------------ Client
 
@@ -74,10 +105,9 @@ class ProtocolMessage : public SimMessage {
 class ClientRequestMsg : public ProtocolMessage {
  public:
   explicit ClientRequestMsg(Transaction txn)
-      : ProtocolMessage(MessageType::kClientRequest), txn_(std::move(txn)) {
-    set_body_size(txn_.ByteSize());
-  }
+      : ProtocolMessage(MessageType::kClientRequest), txn_(std::move(txn)) {}
   const Transaction& txn() const { return txn_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   Transaction txn_;
@@ -89,11 +119,10 @@ class ClientReplyMsg : public ProtocolMessage {
   ClientReplyMsg(uint64_t txn_id, bool committed)
       : ProtocolMessage(MessageType::kClientReply),
         txn_id_(txn_id),
-        committed_(committed) {
-    set_body_size(9);
-  }
+        committed_(committed) {}
   uint64_t txn_id() const { return txn_id_; }
   bool committed() const { return committed_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint64_t txn_id_;
@@ -110,13 +139,12 @@ class PrePrepareMsg : public ProtocolMessage {
         view_(view),
         seq_(seq),
         entry_(std::move(entry)),
-        sig_(sig) {
-    set_body_size(8 + 8 + entry_->ByteSize() + sig_.size());
-  }
+        sig_(sig) {}
   uint64_t view() const { return view_; }
   uint64_t seq() const { return seq_; }
   const EntryPtr& entry() const { return entry_; }
   const Signature& sig() const { return sig_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint64_t view_;
@@ -134,13 +162,12 @@ class PbftVoteMsg : public ProtocolMessage {
         view_(view),
         seq_(seq),
         digest_(digest),
-        sig_(sig) {
-    set_body_size(8 + 8 + 32 + 64);
-  }
+        sig_(sig) {}
   uint64_t view() const { return view_; }
   uint64_t seq() const { return seq_; }
   const Digest& digest() const { return digest_; }
   const Signature& sig() const { return sig_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint64_t view_;
@@ -149,20 +176,27 @@ class PbftVoteMsg : public ProtocolMessage {
   Signature sig_;
 };
 
-/// PBFT view change / new view (sizes modeled; payload summarized).
+/// PBFT view change / new view. The proof payload (prepared-certificate
+/// set) is summarized as an opaque zero blob of the modeled size; the
+/// fields that drive the protocol (new view, last sequence) are carried
+/// for real.
 class ViewChangeMsg : public ProtocolMessage {
  public:
   ViewChangeMsg(MessageType type, uint64_t new_view, uint64_t last_seq,
                 size_t proof_bytes)
-      : ProtocolMessage(type), new_view_(new_view), last_seq_(last_seq) {
-    set_body_size(8 + 8 + proof_bytes);
-  }
+      : ProtocolMessage(type),
+        new_view_(new_view),
+        last_seq_(last_seq),
+        proof_bytes_(proof_bytes) {}
   uint64_t new_view() const { return new_view_; }
   uint64_t last_seq() const { return last_seq_; }
+  size_t proof_bytes() const { return proof_bytes_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint64_t new_view_;
   uint64_t last_seq_;
+  size_t proof_bytes_;
 };
 
 /// Identifies a group-level decision being certified by skip-prepare
@@ -174,6 +208,9 @@ struct DecisionId {
   uint16_t target_gid = 0;
   uint64_t target_seq = 0;
   uint64_t ts = 0;
+
+  void EncodeTo(BinaryWriter* w) const;
+  [[nodiscard]] static Result<DecisionId> DecodeFrom(BinaryReader* r);
 
   friend bool operator==(const DecisionId&, const DecisionId&) = default;
   friend auto operator<=>(const DecisionId&, const DecisionId&) = default;
@@ -188,11 +225,10 @@ class CertifyRequestMsg : public ProtocolMessage {
   CertifyRequestMsg(DecisionId decision, Signature sig)
       : ProtocolMessage(MessageType::kCertifyRequest),
         decision_(decision),
-        sig_(sig) {
-    set_body_size(1 + 2 + 2 + 8 + 8 + 64);
-  }
+        sig_(sig) {}
   const DecisionId& decision() const { return decision_; }
   const Signature& sig() const { return sig_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   DecisionId decision_;
@@ -205,11 +241,10 @@ class CertifyVoteMsg : public ProtocolMessage {
   CertifyVoteMsg(DecisionId decision, Signature sig)
       : ProtocolMessage(MessageType::kCertifyVote),
         decision_(decision),
-        sig_(sig) {
-    set_body_size(1 + 2 + 2 + 8 + 8 + 64);
-  }
+        sig_(sig) {}
   const DecisionId& decision() const { return decision_; }
   const Signature& sig() const { return sig_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   DecisionId decision_;
@@ -224,11 +259,10 @@ class EntryTransferMsg : public ProtocolMessage {
   EntryTransferMsg(EntryPtr entry, Certificate cert)
       : ProtocolMessage(MessageType::kEntryTransfer),
         entry_(std::move(entry)),
-        cert_(std::move(cert)) {
-    set_body_size(entry_->ByteSize() + cert_.ByteSize());
-  }
+        cert_(std::move(cert)) {}
   const EntryPtr& entry() const { return entry_; }
   const Certificate& cert() const { return cert_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   EntryPtr entry_;
@@ -241,7 +275,11 @@ struct Chunk {
   Bytes data;
   MerkleProof proof;
 
-  size_t ByteSize() const { return 4 + 2 + data.size() + proof.ByteSize(); }
+  void EncodeTo(BinaryWriter* w) const;
+  [[nodiscard]] static Result<Chunk> DecodeFrom(BinaryReader* r);
+  size_t ByteSize() const {
+    return 4 + VarintSize(data.size()) + data.size() + proof.ByteSize();
+  }
 };
 
 /// The chunks one sender node transfers to one receiver node (paper
@@ -257,11 +295,7 @@ class ChunkBatchMsg : public ProtocolMessage {
         merkle_root_(merkle_root),
         cert_(std::move(cert)),
         chunks_(std::move(chunks)),
-        entry_size_(entry_size) {
-    size_t body = 2 + 8 + 32 + 8 + cert_.ByteSize();
-    for (const Chunk& c : chunks_) body += c.ByteSize();
-    set_body_size(body);
-  }
+        entry_size_(entry_size) {}
 
   uint16_t gid() const { return gid_; }
   uint64_t seq() const { return seq_; }
@@ -269,6 +303,7 @@ class ChunkBatchMsg : public ProtocolMessage {
   const Certificate& cert() const { return cert_; }
   const std::vector<Chunk>& chunks() const { return chunks_; }
   size_t entry_size() const { return entry_size_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -288,6 +323,9 @@ struct TimestampElement {
   uint16_t target_gid = 0;
   uint64_t target_seq = 0;
   uint64_t ts = 0;
+
+  void EncodeTo(BinaryWriter* w) const;
+  [[nodiscard]] static Result<TimestampElement> DecodeFrom(BinaryReader* r);
 
   static constexpr size_t kByteSize = 2 + 2 + 8 + 8;
   friend bool operator==(const TimestampElement&,
@@ -310,10 +348,7 @@ class RaftProposeMsg : public ProtocolMessage {
         cert_(std::move(cert)),
         piggyback_(std::move(piggyback)),
         origin_gid_(origin_gid),
-        origin_seq_(origin_seq) {
-    set_body_size(2 + 8 + 32 + 2 + 8 + cert_.ByteSize() +
-                  piggyback_.size() * TimestampElement::kByteSize);
-  }
+        origin_seq_(origin_seq) {}
   uint16_t gid() const { return gid_; }
   uint64_t seq() const { return seq_; }
   const Digest& digest() const { return digest_; }
@@ -323,6 +358,7 @@ class RaftProposeMsg : public ProtocolMessage {
   /// proposed under the master's global sequence.
   uint16_t origin_gid() const { return origin_gid_; }
   uint64_t origin_seq() const { return origin_seq_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -346,14 +382,13 @@ class RaftAcceptMsg : public ProtocolMessage {
         seq_(seq),
         from_group_(from_group),
         cert_(std::move(cert)),
-        ts_(ts) {
-    set_body_size(2 + 8 + 2 + 8 + cert_.ByteSize());
-  }
+        ts_(ts) {}
   uint16_t gid() const { return gid_; }
   uint64_t seq() const { return seq_; }
   uint16_t from_group() const { return from_group_; }
   const Certificate& cert() const { return cert_; }
   uint64_t ts() const { return ts_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -370,12 +405,11 @@ class RaftCommitMsg : public ProtocolMessage {
       : ProtocolMessage(MessageType::kRaftCommit),
         gid_(gid),
         seq_(seq),
-        cert_(std::move(cert)) {
-    set_body_size(2 + 8 + cert_.ByteSize());
-  }
+        cert_(std::move(cert)) {}
   uint16_t gid() const { return gid_; }
   uint64_t seq() const { return seq_; }
   const Certificate& cert() const { return cert_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -390,11 +424,11 @@ class TimestampAssignMsg : public ProtocolMessage {
   explicit TimestampAssignMsg(std::vector<TimestampElement> elements,
                               bool replay = false)
       : ProtocolMessage(MessageType::kTimestampAssign),
-        elements_(std::move(elements)), replay_(replay) {
-    set_body_size(2 + elements_.size() * TimestampElement::kByteSize);
-  }
+        elements_(std::move(elements)),
+        replay_(replay) {}
   const std::vector<TimestampElement>& elements() const { return elements_; }
   bool replay() const { return replay_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   std::vector<TimestampElement> elements_;
@@ -405,9 +439,8 @@ class TimestampAssignMsg : public ProtocolMessage {
 /// replay messages, so its arrival means the history is fully delivered).
 class CatchUpDoneMsg : public ProtocolMessage {
  public:
-  CatchUpDoneMsg() : ProtocolMessage(MessageType::kCatchUpDone) {
-    set_body_size(1);
-  }
+  CatchUpDoneMsg() : ProtocolMessage(MessageType::kCatchUpDone) {}
+  void EncodeBodyTo(BinaryWriter* w) const override;
 };
 
 /// One global-consensus outcome relayed from a group leader to its group
@@ -420,6 +453,9 @@ struct RelayEvent {
   uint16_t assigner = 0;   // For kTimestamp: the stamping group.
   uint64_t ts = 0;         // For kTimestamp: the clock value.
 
+  void EncodeTo(BinaryWriter* w) const;
+  [[nodiscard]] static Result<RelayEvent> DecodeFrom(BinaryReader* r);
+
   static constexpr size_t kByteSize = 1 + 2 + 8 + 2 + 8;
 };
 
@@ -429,12 +465,12 @@ struct RelayEvent {
 class GroupRelayMsg : public ProtocolMessage {
  public:
   explicit GroupRelayMsg(std::vector<RelayEvent> events, bool replay = false)
-      : ProtocolMessage(MessageType::kGroupRelay), events_(std::move(events)),
-        replay_(replay) {
-    set_body_size(2 + events_.size() * RelayEvent::kByteSize);
-  }
+      : ProtocolMessage(MessageType::kGroupRelay),
+        events_(std::move(events)),
+        replay_(replay) {}
   const std::vector<RelayEvent>& events() const { return events_; }
   bool replay() const { return replay_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   std::vector<RelayEvent> events_;
@@ -447,11 +483,10 @@ class GroupHeartbeatMsg : public ProtocolMessage {
   GroupHeartbeatMsg(uint16_t gid, uint64_t last_seq)
       : ProtocolMessage(MessageType::kGroupHeartbeat),
         gid_(gid),
-        last_seq_(last_seq) {
-    set_body_size(2 + 8);
-  }
+        last_seq_(last_seq) {}
   uint16_t gid() const { return gid_; }
   uint64_t last_seq() const { return last_seq_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -466,12 +501,11 @@ class EpochMarkerMsg : public ProtocolMessage {
       : ProtocolMessage(MessageType::kEpochMarker),
         gid_(gid),
         epoch_(epoch),
-        count_(count) {
-    set_body_size(2 + 8 + 8);
-  }
+        count_(count) {}
   uint16_t gid() const { return gid_; }
   uint64_t epoch() const { return epoch_; }
   uint64_t count() const { return count_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t gid_;
@@ -486,11 +520,10 @@ class EpochMarkerMsg : public ProtocolMessage {
 class FreezeMsg : public ProtocolMessage {
  public:
   FreezeMsg(MessageType type, uint16_t dead_gid, uint64_t max_seen)
-      : ProtocolMessage(type), dead_gid_(dead_gid), max_seen_(max_seen) {
-    set_body_size(2 + 8);
-  }
+      : ProtocolMessage(type), dead_gid_(dead_gid), max_seen_(max_seen) {}
   uint16_t dead_gid() const { return dead_gid_; }
   uint64_t max_seen() const { return max_seen_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   uint16_t dead_gid_;
@@ -505,13 +538,12 @@ class CatchUpRequestMsg : public ProtocolMessage {
   explicit CatchUpRequestMsg(std::vector<std::pair<uint16_t, uint64_t>>
                                  executed_next)
       : ProtocolMessage(MessageType::kCatchUpRequest),
-        executed_next_(std::move(executed_next)) {
-    set_body_size(2 + executed_next_.size() * 10);
-  }
+        executed_next_(std::move(executed_next)) {}
   /// (gid, next sequence the requester would execute).
   const std::vector<std::pair<uint16_t, uint64_t>>& executed_next() const {
     return executed_next_;
   }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   std::vector<std::pair<uint16_t, uint64_t>> executed_next_;
@@ -524,11 +556,10 @@ class LeaderForwardMsg : public ProtocolMessage {
   LeaderForwardMsg(EntryPtr entry, Certificate cert)
       : ProtocolMessage(MessageType::kLeaderForward),
         entry_(std::move(entry)),
-        cert_(std::move(cert)) {
-    set_body_size(entry_->ByteSize() + cert_.ByteSize());
-  }
+        cert_(std::move(cert)) {}
   const EntryPtr& entry() const { return entry_; }
   const Certificate& cert() const { return cert_; }
+  void EncodeBodyTo(BinaryWriter* w) const override;
 
  private:
   EntryPtr entry_;

@@ -1,0 +1,234 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace massbft {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[idx];
+}
+
+}  // namespace
+
+RealCluster::RealCluster(RealClusterConfig config)
+    : config_(std::move(config)) {}
+
+RealCluster::~RealCluster() {
+  for (auto& rt : runtimes_) rt->Stop();
+}
+
+Status RealCluster::Setup() {
+  if (setup_done_) return Status::FailedPrecondition("Setup() called twice");
+  MASSBFT_ASSIGN_OR_RETURN(Topology topo,
+                           Topology::Create(config_.topology));
+  topology_ = std::make_unique<Topology>(std::move(topo));
+  registry_ = std::make_unique<KeyRegistry>();
+
+  TcpPortMap ports;
+  if (config_.use_tcp)
+    ports = MakeLocalPortMap(config_.topology.group_sizes, config_.base_port);
+
+  // All runtimes (and thus all GroupNodes) are built here on the calling
+  // thread: KeyRegistry::RegisterNode is not thread-safe, and nodes verify
+  // each other's signatures through the shared registry.
+  for (NodeId id : topology_->AllNodes()) {
+    std::unique_ptr<Transport> transport =
+        config_.use_tcp
+            ? std::unique_ptr<Transport>(new TcpTransport(id, ports))
+            : hub_.CreateTransport(id);
+    auto rt = std::make_unique<NodeRuntime>(
+        id, config_.protocol, config_.workload, config_.workload_scale,
+        registry_.get(), topology_.get(), std::move(transport));
+    // Every node executes so the agreement check can compare all replicas.
+    rt->node().set_always_execute(true);
+    rt->set_on_txn_committed(
+        [this](const Transaction& txn, SimTime) { OnTxnCommitted(txn); });
+    runtimes_.push_back(std::move(rt));
+  }
+
+  Rng seed_rng(config_.seed);
+  client_workloads_.resize(config_.topology.group_sizes.size());
+  latencies_.resize(config_.topology.group_sizes.size());
+  for (int g = 0; g < topology_->num_groups(); ++g) {
+    client_workloads_[g] =
+        MakeWorkload(config_.workload, config_.workload_scale);
+    for (int c = 0; c < config_.clients_per_group; ++c) {
+      Client client;
+      client.id = (static_cast<uint32_t>(g) << 20) | static_cast<uint32_t>(c);
+      client.group = g;
+      client.rng = seed_rng.Fork();
+      clients_.push_back(std::move(client));
+    }
+  }
+
+  setup_done_ = true;
+  return Status::OK();
+}
+
+NodeRuntime* RealCluster::runtime(NodeId id) {
+  for (auto& rt : runtimes_)
+    if (rt->id() == id) return rt.get();
+  return nullptr;
+}
+
+void RealCluster::SubmitNext(size_t client_index) {
+  Client& client = clients_[client_index];
+  NodeRuntime* leader =
+      runtime(NodeId{static_cast<uint16_t>(client.group), 0});
+  if (leader == nullptr) return;
+  // The transaction is materialized on the leader's event-loop thread:
+  // each group's payload generator and its clients' rngs are only ever
+  // touched there (single-writer; see client_workloads_).
+  leader->Post([this, leader, client_index] {
+    Client& c = clients_[client_index];
+    Transaction txn;
+    txn.id = c.next_txn++;
+    txn.client = c.id;
+    txn.submit_time = leader->Elapsed();
+    txn.payload = client_workloads_[c.group]->NextPayload(c.rng);
+    c.submitted_at = Clock::now();
+    leader->node().SubmitClientTxn(std::move(txn));
+  });
+}
+
+void RealCluster::OnTxnCommitted(const Transaction& txn) {
+  uint32_t group = txn.client >> 20;
+  uint32_t index = txn.client & 0xFFFFF;
+  size_t client_index =
+      static_cast<size_t>(group) *
+          static_cast<size_t>(config_.clients_per_group) +
+      index;
+  if (client_index >= clients_.size()) return;
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  latencies_[group].push_back(MsSince(clients_[client_index].submitted_at));
+  if (issuing_.load(std::memory_order_relaxed)) SubmitNext(client_index);
+}
+
+bool RealCluster::DrainUntilStable() {
+  // A VTS cluster never fully quiesces: the tail entries of each group can
+  // only execute once other groups' clocks pass them, so idle leaders keep
+  // proposing *empty* entries (the liveness tick). Empty entries do not
+  // touch the store, so convergence is judged on state fingerprints: once
+  // every replica holds the same fingerprint and no new transactions are
+  // committing, all client work has been executed everywhere.
+  const auto deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(config_.drain_timeout_seconds));
+  uint64_t prev_committed = 0;
+  bool had_stable_round = false;
+  while (Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    bool all_equal = true;
+    uint64_t first = 0;
+    for (size_t i = 0; i < runtimes_.size(); ++i) {
+      uint64_t fp = runtimes_[i]->Call(
+          [](GroupNode& n) { return n.store().StateFingerprint(); });
+      if (i == 0)
+        first = fp;
+      else
+        all_equal = all_equal && fp == first;
+    }
+    uint64_t committed = committed_.load();
+    if (all_equal && committed == prev_committed) {
+      if (had_stable_round) return true;
+      had_stable_round = true;
+    } else {
+      had_stable_round = false;
+    }
+    prev_committed = committed;
+  }
+  return false;
+}
+
+Result<ExperimentResult> RealCluster::Run() {
+  if (!setup_done_) return Status::FailedPrecondition("Setup() not called");
+  const auto wall_start = Clock::now();
+
+  for (auto& rt : runtimes_) MASSBFT_RETURN_IF_ERROR(rt->Start());
+
+  issuing_.store(true);
+  for (size_t i = 0; i < clients_.size(); ++i) SubmitNext(i);
+
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(config_.duration_seconds));
+  issuing_.store(false);
+  const double issue_window_s =
+      std::chrono::duration<double>(Clock::now() - wall_start).count();
+
+  // Let in-flight entries commit and execute everywhere. The VTS liveness
+  // tick keeps advancing the global order even with no new client load.
+  if (!DrainUntilStable())
+    return Status::Internal("cluster did not reach a stable agreed state "
+                            "within the drain timeout");
+
+  // Collect per-node state through each node's own event loop, then stop.
+  std::vector<uint64_t> fingerprints;
+  std::vector<std::vector<std::pair<uint16_t, uint64_t>>> logs;
+  for (auto& rt : runtimes_) {
+    fingerprints.push_back(
+        rt->Call([](GroupNode& n) { return n.store().StateFingerprint(); }));
+    logs.push_back(rt->Call([](GroupNode& n) { return n.execution_log(); }));
+  }
+  for (auto& rt : runtimes_) rt->Stop();
+
+  // Agreement: identical fingerprints, and identical execution order over
+  // the common prefix (lengths differ only by the still-moving empty-entry
+  // tail; see DrainUntilStable).
+  for (size_t i = 1; i < runtimes_.size(); ++i) {
+    if (fingerprints[i] != fingerprints[0])
+      return Status::Internal("state fingerprint divergence at node " +
+                              std::to_string(i));
+    size_t limit = std::min(logs[i].size(), logs[0].size());
+    for (size_t k = 0; k < limit; ++k) {
+      if (logs[i][k] != logs[0][k])
+        return Status::Internal(
+            "execution order divergence at node " + std::to_string(i) +
+            " position " + std::to_string(k));
+    }
+  }
+
+  ExperimentResult result;
+  result.mode = "real";
+  result.committed_txns = committed_.load();
+  result.throughput_tps =
+      static_cast<double>(result.committed_txns) / issue_window_s;
+  std::vector<double> all_latencies;
+  for (const auto& group_samples : latencies_)
+    all_latencies.insert(all_latencies.end(), group_samples.begin(),
+                         group_samples.end());
+  std::sort(all_latencies.begin(), all_latencies.end());
+  if (!all_latencies.empty()) {
+    double sum = 0;
+    for (double v : all_latencies) sum += v;
+    result.mean_latency_ms = sum / static_cast<double>(all_latencies.size());
+    result.p50_latency_ms = Percentile(all_latencies, 0.5);
+    result.p99_latency_ms = Percentile(all_latencies, 0.99);
+  }
+  for (auto& rt : runtimes_) {
+    result.total_wan_bytes += rt->network().wan_bytes_sent();
+    result.total_lan_bytes += rt->network().lan_bytes_sent();
+  }
+  if (!logs.empty()) result.entries_proposed = logs[0].size();
+  result.wall_ms = MsSince(wall_start);
+  if (result.entries_proposed > 0)
+    result.wan_bytes_per_entry =
+        static_cast<double>(result.total_wan_bytes) /
+        static_cast<double>(result.entries_proposed);
+  return result;
+}
+
+}  // namespace massbft

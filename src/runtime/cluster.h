@@ -1,0 +1,105 @@
+#ifndef MASSBFT_RUNTIME_CLUSTER_H_
+#define MASSBFT_RUNTIME_CLUSTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+#include "runtime/node_runtime.h"
+
+namespace massbft {
+
+/// A threaded MassBFT cluster over a real transport.
+struct RealClusterConfig {
+  /// Latency/bandwidth parameters are ignored by the transport (the real
+  /// network provides timing); group_sizes and the fault bounds matter.
+  TopologyConfig topology;
+  ProtocolConfig protocol;
+  WorkloadKind workload = WorkloadKind::kYcsbA;
+  double workload_scale = 0.1;
+  /// Closed-loop clients per group (one outstanding transaction each).
+  int clients_per_group = 16;
+  /// Wall-clock transaction-issuing window.
+  double duration_seconds = 3.0;
+  /// Extra wall-clock budget for every node to execute everything that
+  /// committed before issuing stopped.
+  double drain_timeout_seconds = 20.0;
+  uint64_t seed = 42;
+  /// false = in-process transport fabric; true = TCP over localhost.
+  bool use_tcp = false;
+  uint16_t base_port = 18200;
+};
+
+/// Builds one NodeRuntime per node, drives closed-loop clients against the
+/// group leaders for the configured duration, then drains until every node
+/// has executed the same entries and checks that all state fingerprints
+/// agree. Usage mirrors Experiment:
+///   RealCluster cluster(config);
+///   MASSBFT_RETURN_IF_ERROR(cluster.Setup());
+///   auto result = cluster.Run();   // Result<ExperimentResult>, mode "real"
+class RealCluster {
+ public:
+  explicit RealCluster(RealClusterConfig config);
+  ~RealCluster();
+
+  RealCluster(const RealCluster&) = delete;
+  RealCluster& operator=(const RealCluster&) = delete;
+
+  /// Builds registry, topology and every runtime (main thread; no threads
+  /// are started yet).
+  [[nodiscard]] Status Setup();
+
+  /// Runs the cluster: start, issue, drain, verify agreement, stop.
+  /// Fails with Internal if surviving nodes' states diverge.
+  [[nodiscard]] Result<ExperimentResult> Run();
+
+  const std::vector<std::unique_ptr<NodeRuntime>>& runtimes() const {
+    return runtimes_;
+  }
+
+ private:
+  struct Client {
+    uint32_t id = 0;
+    int group = 0;
+    uint64_t next_txn = 0;
+    Rng rng;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  NodeRuntime* runtime(NodeId id);
+  /// Posts the next transaction of client `client_index` to its group
+  /// leader's event loop.
+  void SubmitNext(size_t client_index);
+  /// Fired on the origin-group leader's event-loop thread.
+  void OnTxnCommitted(const Transaction& txn);
+  /// Waits until every node holds the same state fingerprint and commits
+  /// have stopped (two stable readings in a row); false on drain timeout.
+  bool DrainUntilStable();
+
+  RealClusterConfig config_;
+  std::unique_ptr<Topology> topology_;
+  std::unique_ptr<KeyRegistry> registry_;
+  InProcHub hub_;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+
+  /// Per-group payload generators: group g's instance is only touched from
+  /// g's leader event-loop thread (all of g's clients submit there).
+  std::vector<std::unique_ptr<Workload>> client_workloads_;
+  std::vector<Client> clients_;
+  /// Per-group latency samples (ms), same single-writer discipline.
+  std::vector<std::vector<double>> latencies_;
+
+  std::atomic<bool> issuing_{false};
+  std::atomic<uint64_t> committed_{0};
+  bool setup_done_ = false;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_RUNTIME_CLUSTER_H_

@@ -1,0 +1,130 @@
+#include "runtime/node_runtime.h"
+
+#include <utility>
+
+namespace massbft {
+
+TransportNetwork::TransportNetwork(Simulator* sim, const Topology* topology,
+                                   Transport* transport)
+    : Network(sim, topology, /*deliver=*/nullptr), transport_(transport) {}
+
+void TransportNetwork::SendWan(NodeId, NodeId dst, MessagePtr message) {
+  SendReal(dst, message, &wan_bytes_sent_);
+}
+
+void TransportNetwork::SendLan(NodeId, NodeId dst, MessagePtr message) {
+  SendReal(dst, message, &lan_bytes_sent_);
+}
+
+void TransportNetwork::SendReal(NodeId dst, const MessagePtr& message,
+                                uint64_t* counter) {
+  // Every message in the protocol stack is a ProtocolMessage; SimMessage is
+  // only the byte-accounting face the simulated network sees.
+  const auto& msg = static_cast<const ProtocolMessage&>(*message);
+  *counter += msg.ByteSize();
+  // Best-effort, like a datagram over an unreliable link: the BFT layer
+  // owns retries. The transport counts the failure in its stats.
+  (void)transport_->Send(dst, msg);
+}
+
+NodeRuntime::NodeRuntime(NodeId id, const ProtocolConfig& protocol,
+                         WorkloadKind workload, double workload_scale,
+                         KeyRegistry* registry, const Topology* topology,
+                         std::unique_ptr<Transport> transport)
+    : id_(id),
+      transport_(std::move(transport)),
+      topology_(topology),
+      network_(&sim_, topology, transport_.get()),
+      workload_(MakeWorkload(workload, workload_scale)) {
+  ctx_.registry = registry;
+  ctx_.topology = topology;
+  ctx_.workload = workload_.get();
+  node_ = std::make_unique<GroupNode>(&sim_, &network_, id, protocol, &ctx_);
+}
+
+NodeRuntime::~NodeRuntime() { Stop(); }
+
+Status NodeRuntime::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::FailedPrecondition("runtime already running");
+    running_ = true;
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  Status s = transport_->Start([this](Frame frame) { Deliver(std::move(frame)); });
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+    return s;
+  }
+  thread_ = std::thread([this] { Loop(); });
+  Post([this] { node_->Start(); });
+  return Status::OK();
+}
+
+void NodeRuntime::Stop() {
+  // Stop the transport first so no further deliveries are posted, then
+  // wake and join the loop.
+  if (transport_) transport_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+bool NodeRuntime::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+SimTime NodeRuntime::Elapsed() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void NodeRuntime::Deliver(Frame frame) {
+  // Re-wrap as the shared-pointer type HandleMessage expects. The lambda
+  // must be copyable for std::function, hence shared_ptr.
+  MessagePtr msg(std::move(frame.msg));
+  NodeId src = frame.src;
+  Post([this, src, msg] { node_->HandleMessage(src, msg); });
+}
+
+void NodeRuntime::Loop() {
+  std::vector<std::function<void()>> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() && running_) {
+        SimTime next = sim_.NextEventTime();
+        if (next == Simulator::kNoEvent) {
+          // No pending timers: sleep until a message or Stop() wakes us.
+          // The bounded wait is belt-and-braces against a lost notify.
+          cv_.wait_for(lock, std::chrono::milliseconds(50));
+        } else {
+          cv_.wait_until(lock, epoch_ + std::chrono::nanoseconds(next));
+        }
+      }
+      if (!running_) break;
+      batch.swap(queue_);
+    }
+    // Advance the virtual clock to "now", firing due timers, then handle
+    // inbound messages at the advanced time. Zero-delay work scheduled by
+    // the handlers is already due, so the next iteration runs it without
+    // sleeping.
+    sim_.RunUntil(Elapsed());
+    for (auto& fn : batch) fn();
+    batch.clear();
+  }
+}
+
+}  // namespace massbft

@@ -1,0 +1,159 @@
+#ifndef MASSBFT_RUNTIME_NODE_RUNTIME_H_
+#define MASSBFT_RUNTIME_NODE_RUNTIME_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/group_node.h"
+#include "net/transport.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "sim/topology.h"
+#include "workload/workload.h"
+
+namespace massbft {
+
+/// Network implementation that puts messages on a real Transport instead of
+/// simulated links. Protocol code (GroupNode and the engines beneath it) is
+/// unchanged: it still calls SendWan/SendLan, but each call encodes the
+/// message into a wire frame and hands it to the transport. Timing comes
+/// from the operating system, not the flow model, so the latency/bandwidth
+/// parameters of the topology are ignored here.
+///
+/// Not thread-safe by itself: all sends come from the owning NodeRuntime's
+/// event-loop thread.
+class TransportNetwork : public Network {
+ public:
+  TransportNetwork(Simulator* sim, const Topology* topology,
+                   Transport* transport);
+
+  void SendWan(NodeId src, NodeId dst, MessagePtr message) override;
+  void SendLan(NodeId src, NodeId dst, MessagePtr message) override;
+
+  /// Crash/recover in the threaded runtime means stopping or restarting a
+  /// whole NodeRuntime; the per-node drop bookkeeping of the simulated
+  /// network does not apply.
+  void CrashNode(NodeId) override {}
+  void RecoverNode(NodeId) override {}
+
+  /// Encoded bytes actually handed to the transport, by link class.
+  uint64_t wan_bytes_sent() const { return wan_bytes_sent_; }
+  uint64_t lan_bytes_sent() const { return lan_bytes_sent_; }
+
+ private:
+  void SendReal(NodeId dst, const MessagePtr& message, uint64_t* counter);
+
+  Transport* transport_;
+  uint64_t wan_bytes_sent_ = 0;
+  uint64_t lan_bytes_sent_ = 0;
+};
+
+/// Hosts one GroupNode on a dedicated thread, with real messaging.
+///
+/// The protocol stack is callback-driven and schedules all its timers
+/// through a Simulator, so the runtime gives each node a *private*
+/// Simulator whose clock is mapped onto the wall clock: the event-loop
+/// thread sleeps until the earliest pending timer (Simulator::
+/// NextEventTime(), interpreted as nanoseconds since Start()) or until a
+/// message arrives, then advances the virtual clock to the current wall
+/// offset, firing due timers, and handles queued inbound messages. Protocol
+/// code therefore runs exactly as in simulation — same engines, same timer
+/// chains — but interleaved with real network delivery.
+///
+/// Threading rules:
+///  * Construction happens on the main thread, for every node of the
+///    cluster, before any runtime is started (KeyRegistry::RegisterNode is
+///    not thread-safe).
+///  * After Start(), the GroupNode must only be touched from the event
+///    loop: use Post() (fire-and-forget) or Call() (run + wait for result).
+///  * After Stop() returns, the loop thread has been joined and the node
+///    may be inspected directly from the caller's thread.
+class NodeRuntime {
+ public:
+  /// `registry` and `topology` are shared across the cluster's runtimes and
+  /// must outlive them. The runtime takes ownership of `transport` and
+  /// builds its own private ClusterContext and Workload instance (caches
+  /// and telemetry are per-node — nothing protocol-visible is shared
+  /// between node threads except the transport fabric).
+  NodeRuntime(NodeId id, const ProtocolConfig& protocol, WorkloadKind workload,
+              double workload_scale, KeyRegistry* registry,
+              const Topology* topology, std::unique_ptr<Transport> transport);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  /// Installs the commit callback (fired on this runtime's event-loop
+  /// thread). Must be called before Start().
+  void set_on_txn_committed(
+      std::function<void(const Transaction&, SimTime)> fn) {
+    ctx_.on_txn_committed = std::move(fn);
+  }
+
+  /// Starts the transport and the event loop, then arms the node's timers
+  /// (GroupNode::Start()) on the loop thread.
+  [[nodiscard]] Status Start();
+
+  /// Stops the transport (no further deliveries), then joins the loop
+  /// thread. Queued-but-unprocessed work is dropped. Idempotent.
+  void Stop();
+
+  /// Enqueues `fn` to run on the event-loop thread. Safe from any thread.
+  /// Returns false (and drops `fn`) when the runtime is not running.
+  bool Post(std::function<void()> fn);
+
+  /// Runs `fn(node)` on the event-loop thread and returns its result; when
+  /// the runtime is not running (before Start() / after Stop(), when no
+  /// other thread can touch the node) it runs inline instead. Must not be
+  /// called from the loop thread itself (it would deadlock).
+  template <typename F>
+  auto Call(F fn) -> decltype(fn(std::declval<GroupNode&>())) {
+    using R = decltype(fn(std::declval<GroupNode&>()));
+    std::promise<R> promise;
+    std::future<R> future = promise.get_future();
+    if (!Post([this, &fn, &promise] { promise.set_value(fn(*node_)); }))
+      return fn(*node_);
+    return future.get();
+  }
+
+  NodeId id() const { return id_; }
+  GroupNode& node() { return *node_; }
+  Transport& transport() { return *transport_; }
+  const TransportNetwork& network() const { return network_; }
+
+  /// Nanoseconds of wall clock since Start() — the loop's virtual "now".
+  SimTime Elapsed() const;
+
+ private:
+  void Loop();
+  void Deliver(Frame frame);
+
+  NodeId id_;
+  Simulator sim_;
+  std::unique_ptr<Transport> transport_;
+  const Topology* topology_;
+  TransportNetwork network_;
+  std::unique_ptr<Workload> workload_;
+  ClusterContext ctx_;
+  std::unique_ptr<GroupNode> node_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::function<void()>> queue_;
+  bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  std::thread thread_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_RUNTIME_NODE_RUNTIME_H_

@@ -136,6 +136,10 @@ uint64_t Network::TotalWanBytesSent() const {
   return TotalStats().wan_bytes_sent;
 }
 
+uint64_t Network::TotalLanBytesSent() const {
+  return TotalStats().lan_bytes_sent;
+}
+
 void Network::ResetStats() {
   for (NodeId node : topology_->AllNodes()) {
     auto it = states_.find(node.Packed());

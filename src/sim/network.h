@@ -61,6 +61,7 @@ class Network {
       std::function<void(NodeId dst, NodeId src, MessagePtr message)>;
 
   Network(Simulator* sim, const Topology* topology, DeliverFn deliver);
+  virtual ~Network() = default;
 
   /// Attaches an observability context: aggregate traffic counters land in
   /// its registry, and — when tracing is enabled — every message yields a
@@ -70,21 +71,25 @@ class Network {
   void set_telemetry(obs::Telemetry* telemetry);
 
   /// Sends over WAN (inter-data-center). Also usable intra-group, but
-  /// protocol code should use SendLan for that.
-  void SendWan(NodeId src, NodeId dst, MessagePtr message);
+  /// protocol code should use SendLan for that. Virtual so the threaded
+  /// runtime can substitute a real transport (runtime/TransportNetwork)
+  /// underneath unmodified protocol code.
+  virtual void SendWan(NodeId src, NodeId dst, MessagePtr message);
 
   /// Sends over the data-center LAN. src and dst must be in one group.
-  void SendLan(NodeId src, NodeId dst, MessagePtr message);
+  virtual void SendLan(NodeId src, NodeId dst, MessagePtr message);
 
   /// Marks a node crashed: all of its queued/future traffic is dropped.
-  void CrashNode(NodeId node);
-  void RecoverNode(NodeId node);
+  virtual void CrashNode(NodeId node);
+  virtual void RecoverNode(NodeId node);
   bool IsCrashed(NodeId node) const { return crashed_.contains(node.Packed()); }
 
   const TrafficStats& StatsFor(NodeId node) const;
   TrafficStats TotalStats() const;
   /// Sum of WAN bytes sent by all nodes (the paper's Fig 10 metric).
   uint64_t TotalWanBytesSent() const;
+  /// Sum of LAN bytes sent by all nodes.
+  uint64_t TotalLanBytesSent() const;
   void ResetStats();
 
  private:

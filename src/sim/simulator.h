@@ -49,6 +49,13 @@ class Simulator {
   /// Runs one event; returns false if the queue is empty.
   bool Step();
 
+  /// Earliest pending event time, or kNoEvent when the queue is empty.
+  /// The threaded runtime uses this to sleep exactly until the next timer.
+  static constexpr SimTime kNoEvent = INT64_MAX;
+  SimTime NextEventTime() const {
+    return heap_.empty() ? kNoEvent : heap_.front().time;
+  }
+
   /// Runs events until the queue empties or the clock passes `until`.
   /// Events scheduled beyond `until` stay queued; Now() is advanced to
   /// `until` when the horizon is hit.

@@ -87,12 +87,26 @@ class FixtureTest(unittest.TestCase):
                          "legal constructs and a used suppression must not "
                          "fire any rule, including unused-suppression")
 
+    def test_realtime_dirs_are_wallclock_exempt_by_policy(self):
+        self.assertEqual(self.findings_for("src/net/realtime_ok.cc"), [],
+                         "src/net is a real-time dir in DIR_POLICY: wall "
+                         "clock and unordered iteration are its job and "
+                         "must not fire D1/D2")
+
+    def test_suppression_in_exempt_dir_is_flagged_stale(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/runtime/stale_suppression.cc")]
+        self.assertEqual(rules, [("D5", "unused-suppression")],
+                         "a wallclock suppression in a D1-exempt dir covers "
+                         "nothing and must be reported stale")
+
     def test_no_unexpected_findings(self):
         expected_files = {
             "src/sim/bad_wallclock.cc", "src/sim/bad_unordered.cc",
             "src/ec/bad_kernel.cc", "src/crypto/untested_kernel.cc",
             "src/common/status.h", "src/proto/bad_factory.h",
             "src/sim/unused_suppression.cc",
+            "src/runtime/stale_suppression.cc",
         }
         self.assertEqual({f[0] for f in self.findings}, expected_files)
 

@@ -135,7 +135,27 @@ TEST(MerkleTest, ProofByteSizeTracksPathLength) {
   ASSERT_TRUE(tree.ok());
   auto proof = tree->Prove(0);
   ASSERT_TRUE(proof.ok());
-  EXPECT_EQ(proof->ByteSize(), 8 + proof->path.size() * 32);
+  // ByteSize() must match the wire encoding exactly.
+  BinaryWriter w;
+  proof->EncodeTo(&w);
+  EXPECT_EQ(proof->ByteSize(), w.size());
+  EXPECT_EQ(proof->ByteSize(), 4 + 4 + 2 + proof->path.size() * 32);
+}
+
+TEST(MerkleTest, ProofEncodeDecodeRoundTrip) {
+  auto tree = MerkleTree::Build(MakeBlocks(28));
+  ASSERT_TRUE(tree.ok());
+  auto proof = tree->Prove(13);
+  ASSERT_TRUE(proof.ok());
+  BinaryWriter w;
+  proof->EncodeTo(&w);
+  BinaryReader r(w.buffer());
+  auto decoded = MerkleProof::DecodeFrom(&r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->index, proof->index);
+  EXPECT_EQ(decoded->leaf_count, proof->leaf_count);
+  EXPECT_EQ(decoded->path, proof->path);
+  EXPECT_TRUE(r.AtEnd());
 }
 
 }  // namespace

@@ -1,0 +1,509 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/crc32.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+#include "net/wire.h"
+#include "proto/messages.h"
+
+namespace massbft {
+namespace {
+
+// ------------------------------------------------------------ Crc32
+
+TEST(Crc32Test, KnownVectors) {
+  // The standard CRC-32 check value.
+  const uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(Crc32::Compute(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(Crc32::Compute(nullptr, 0), 0x00000000u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  Bytes data(1000);
+  Rng rng(7);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+  Crc32 crc;
+  crc.Update(data.data(), 100);
+  crc.Update(data.data() + 100, 1);
+  crc.Update(data.data() + 101, data.size() - 101);
+  EXPECT_EQ(crc.Finish(), Crc32::Compute(data.data(), data.size()));
+}
+
+// ---------------------------------------------------- Message factory
+
+Signature RandSig(Rng& rng) {
+  Signature sig;
+  for (auto& b : sig) b = static_cast<uint8_t>(rng.NextU64());
+  return sig;
+}
+
+Digest RandDigest(Rng& rng) {
+  Digest d;
+  for (auto& b : d) b = static_cast<uint8_t>(rng.NextU64());
+  return d;
+}
+
+Transaction RandTxn(Rng& rng) {
+  Transaction txn;
+  txn.id = rng.NextU64();
+  txn.client = static_cast<uint32_t>(rng.NextU64());
+  txn.submit_time = static_cast<SimTime>(rng.NextBelow(1u << 30));
+  txn.payload.resize(rng.NextBelow(200));
+  for (auto& b : txn.payload) b = static_cast<uint8_t>(rng.NextU64());
+  return txn;
+}
+
+EntryPtr RandEntry(Rng& rng) {
+  std::vector<Transaction> txns;
+  size_t n = rng.NextBelow(4);
+  for (size_t i = 0; i < n; ++i) txns.push_back(RandTxn(rng));
+  return std::make_shared<const Entry>(
+      static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+      std::move(txns));
+}
+
+Certificate RandCert(Rng& rng) {
+  Certificate cert;
+  cert.gid = static_cast<uint16_t>(rng.NextBelow(8));
+  cert.digest = RandDigest(rng);
+  size_t n = 1 + rng.NextBelow(3);
+  for (size_t i = 0; i < n; ++i)
+    cert.sigs.emplace_back(
+        NodeId{cert.gid, static_cast<uint16_t>(i)}, RandSig(rng));
+  return cert;
+}
+
+DecisionId RandDecision(Rng& rng) {
+  DecisionId d;
+  d.kind = static_cast<uint8_t>(rng.NextBelow(4));
+  d.voter_gid = static_cast<uint16_t>(rng.NextBelow(8));
+  d.target_gid = static_cast<uint16_t>(rng.NextBelow(8));
+  d.target_seq = rng.NextU64();
+  d.ts = rng.NextU64();
+  return d;
+}
+
+std::vector<TimestampElement> RandElements(Rng& rng) {
+  std::vector<TimestampElement> elements;
+  size_t n = 1 + rng.NextBelow(5);
+  for (size_t i = 0; i < n; ++i)
+    elements.push_back(TimestampElement{
+        static_cast<uint16_t>(rng.NextBelow(8)),
+        static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+        rng.NextU64()});
+  return elements;
+}
+
+std::vector<Chunk> RandChunks(Rng& rng) {
+  std::vector<Chunk> chunks;
+  size_t n = 1 + rng.NextBelow(3);
+  for (size_t i = 0; i < n; ++i) {
+    Chunk c;
+    c.chunk_id = static_cast<uint32_t>(rng.NextU64());
+    c.data.resize(1 + rng.NextBelow(64));
+    for (auto& b : c.data) b = static_cast<uint8_t>(rng.NextU64());
+    c.proof.index = static_cast<uint32_t>(i);
+    c.proof.leaf_count = static_cast<uint32_t>(n);
+    c.proof.path = {RandDigest(rng), RandDigest(rng)};
+    chunks.push_back(std::move(c));
+  }
+  return chunks;
+}
+
+/// A randomized instance of every wire message kind.
+std::unique_ptr<ProtocolMessage> MakeMessage(MessageType type, Rng& rng) {
+  using T = MessageType;
+  switch (type) {
+    case T::kClientRequest:
+      return std::make_unique<ClientRequestMsg>(RandTxn(rng));
+    case T::kClientReply:
+      return std::make_unique<ClientReplyMsg>(rng.NextU64(),
+                                              rng.NextBelow(2) == 0);
+    case T::kPrePrepare:
+      return std::make_unique<PrePrepareMsg>(rng.NextU64(), rng.NextU64(),
+                                             RandEntry(rng), RandSig(rng));
+    case T::kPrepare:
+    case T::kCommit:
+      return std::make_unique<PbftVoteMsg>(type, rng.NextU64(), rng.NextU64(),
+                                           RandDigest(rng), RandSig(rng));
+    case T::kViewChange:
+    case T::kNewView:
+      return std::make_unique<ViewChangeMsg>(type, rng.NextU64(),
+                                             rng.NextU64(),
+                                             rng.NextBelow(300));
+    case T::kCertifyRequest:
+      return std::make_unique<CertifyRequestMsg>(RandDecision(rng),
+                                                 RandSig(rng));
+    case T::kCertifyVote:
+      return std::make_unique<CertifyVoteMsg>(RandDecision(rng),
+                                              RandSig(rng));
+    case T::kEntryTransfer:
+      return std::make_unique<EntryTransferMsg>(RandEntry(rng),
+                                                RandCert(rng));
+    case T::kChunkBatch:
+      return std::make_unique<ChunkBatchMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+          RandDigest(rng), RandCert(rng), RandChunks(rng),
+          rng.NextBelow(1u << 20));
+    case T::kRaftPropose:
+      return std::make_unique<RaftProposeMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+          RandDigest(rng), RandCert(rng), RandElements(rng),
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64());
+    case T::kRaftAccept:
+      return std::make_unique<RaftAcceptMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+          static_cast<uint16_t>(rng.NextBelow(8)), RandCert(rng),
+          rng.NextU64());
+    case T::kRaftCommit:
+      return std::make_unique<RaftCommitMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+          RandCert(rng));
+    case T::kTimestampAssign:
+      return std::make_unique<TimestampAssignMsg>(RandElements(rng),
+                                                  rng.NextBelow(2) == 0);
+    case T::kGroupHeartbeat:
+      return std::make_unique<GroupHeartbeatMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64());
+    case T::kGroupRelay: {
+      std::vector<RelayEvent> events;
+      size_t n = 1 + rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i)
+        events.push_back(RelayEvent{
+            static_cast<uint8_t>(1 + rng.NextBelow(2)),
+            static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+            static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64()});
+      return std::make_unique<GroupRelayMsg>(std::move(events),
+                                             rng.NextBelow(2) == 0);
+    }
+    case T::kEpochMarker:
+      return std::make_unique<EpochMarkerMsg>(
+          static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64(),
+          rng.NextU64());
+    case T::kLeaderForward:
+      return std::make_unique<LeaderForwardMsg>(RandEntry(rng),
+                                                RandCert(rng));
+    case T::kCatchUpRequest: {
+      std::vector<std::pair<uint16_t, uint64_t>> next;
+      size_t n = 1 + rng.NextBelow(4);
+      for (size_t i = 0; i < n; ++i)
+        next.emplace_back(static_cast<uint16_t>(i), rng.NextU64());
+      return std::make_unique<CatchUpRequestMsg>(std::move(next));
+    }
+    case T::kFreezeQuery:
+    case T::kFreezeReport:
+      return std::make_unique<FreezeMsg>(
+          type, static_cast<uint16_t>(rng.NextBelow(8)), rng.NextU64());
+    case T::kCatchUpDone:
+      return std::make_unique<CatchUpDoneMsg>();
+  }
+  return nullptr;
+}
+
+constexpr MessageType kAllTypes[] = {
+    MessageType::kClientRequest, MessageType::kClientReply,
+    MessageType::kPrePrepare,    MessageType::kPrepare,
+    MessageType::kCommit,        MessageType::kViewChange,
+    MessageType::kNewView,       MessageType::kCertifyRequest,
+    MessageType::kCertifyVote,   MessageType::kEntryTransfer,
+    MessageType::kChunkBatch,    MessageType::kRaftPropose,
+    MessageType::kRaftAccept,    MessageType::kRaftCommit,
+    MessageType::kTimestampAssign, MessageType::kGroupHeartbeat,
+    MessageType::kGroupRelay,    MessageType::kEpochMarker,
+    MessageType::kLeaderForward, MessageType::kCatchUpRequest,
+    MessageType::kFreezeQuery,   MessageType::kFreezeReport,
+    MessageType::kCatchUpDone,
+};
+
+// ------------------------------------------------------------ Roundtrip
+
+/// Every message kind survives encode -> decode -> re-encode with
+/// byte-identical frames (which proves field-level equality without
+/// per-field comparison), and ByteSize() equals the real frame size.
+TEST(WireRoundTripTest, EveryMessageTypeRoundTrips) {
+  Rng rng(42);
+  const NodeId src{3, 7};
+  for (MessageType type : kAllTypes) {
+    for (int iteration = 0; iteration < 8; ++iteration) {
+      auto msg = MakeMessage(type, rng);
+      ASSERT_NE(msg, nullptr) << "no factory for type "
+                              << static_cast<int>(type);
+      Bytes wire = EncodeFrame(*msg, src);
+      EXPECT_EQ(wire.size(), msg->ByteSize())
+          << "type " << static_cast<int>(type);
+
+      auto peeked = PeekFrameLength(wire.data(), wire.size());
+      ASSERT_TRUE(peeked.ok());
+      EXPECT_EQ(*peeked, wire.size());
+
+      auto frame = DecodeFrame(wire);
+      ASSERT_TRUE(frame.ok()) << "type " << static_cast<int>(type) << ": "
+                              << frame.status().ToString();
+      EXPECT_EQ(frame->src, src);
+      ASSERT_NE(frame->msg, nullptr);
+      EXPECT_EQ(frame->msg->message_type(), type);
+
+      Bytes rewire = EncodeFrame(*frame->msg, src);
+      EXPECT_EQ(rewire, wire) << "re-encode divergence for type "
+                              << static_cast<int>(type);
+    }
+  }
+}
+
+TEST(WireRoundTripTest, FieldLevelSpotChecks) {
+  Rng rng(1);
+  const NodeId src{1, 2};
+  {
+    auto entry = RandEntry(rng);
+    auto cert = RandCert(rng);
+    EntryTransferMsg msg(entry, cert);
+    auto frame = DecodeFrame(EncodeFrame(msg, src));
+    ASSERT_TRUE(frame.ok());
+    auto& decoded = static_cast<const EntryTransferMsg&>(*frame->msg);
+    EXPECT_EQ(decoded.entry()->digest(), entry->digest());
+    EXPECT_EQ(decoded.entry()->txns(), entry->txns());
+    EXPECT_EQ(decoded.cert().sigs, cert.sigs);
+  }
+  {
+    auto elements = RandElements(rng);
+    RaftProposeMsg msg(4, 99, RandDigest(rng), RandCert(rng), elements, 2, 55);
+    auto frame = DecodeFrame(EncodeFrame(msg, src));
+    ASSERT_TRUE(frame.ok());
+    auto& decoded = static_cast<const RaftProposeMsg&>(*frame->msg);
+    EXPECT_EQ(decoded.gid(), 4);
+    EXPECT_EQ(decoded.seq(), 99u);
+    EXPECT_EQ(decoded.piggyback(), elements);
+    EXPECT_EQ(decoded.origin_gid(), 2);
+    EXPECT_EQ(decoded.origin_seq(), 55u);
+  }
+  {
+    auto chunks = RandChunks(rng);
+    ChunkBatchMsg msg(1, 7, RandDigest(rng), RandCert(rng), chunks, 4096);
+    auto frame = DecodeFrame(EncodeFrame(msg, src));
+    ASSERT_TRUE(frame.ok());
+    auto& decoded = static_cast<const ChunkBatchMsg&>(*frame->msg);
+    ASSERT_EQ(decoded.chunks().size(), chunks.size());
+    EXPECT_EQ(decoded.chunks()[0].data, chunks[0].data);
+    EXPECT_EQ(decoded.chunks()[0].proof.path, chunks[0].proof.path);
+    EXPECT_EQ(decoded.entry_size(), 4096u);
+  }
+}
+
+// ------------------------------------------------------------ Malformed
+
+Bytes SampleFrame() {
+  ClientReplyMsg msg(12345, true);
+  return EncodeFrame(msg, NodeId{0, 1});
+}
+
+/// Recomputes the CRC after tampering with header/body bytes so tests hit
+/// the check they target instead of tripping the CRC first.
+void FixCrc(Bytes& wire) {
+  Crc32 crc;
+  crc.Update(wire.data() + 4, 10);
+  crc.Update(wire.data() + kFrameHeaderBytes,
+             wire.size() - kFrameHeaderBytes);
+  uint32_t value = crc.Finish();
+  for (int i = 0; i < 4; ++i)
+    wire[14 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(value >> (8 * i));
+}
+
+TEST(WireMalformedTest, TruncatedAtEveryLengthIsRejected) {
+  Bytes wire = SampleFrame();
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto frame = DecodeFrame(wire.data(), len);
+    EXPECT_FALSE(frame.ok()) << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(WireMalformedTest, TrailingBytesAreRejected) {
+  Bytes wire = SampleFrame();
+  wire.push_back(0);
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+}
+
+TEST(WireMalformedTest, BadMagicIsRejected) {
+  Bytes wire = SampleFrame();
+  wire[0] ^= 0xFF;
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  EXPECT_FALSE(PeekFrameLength(wire.data(), wire.size()).ok());
+}
+
+TEST(WireMalformedTest, BadVersionIsRejected) {
+  Bytes wire = SampleFrame();
+  wire[4] = kWireVersion + 1;
+  FixCrc(wire);
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  EXPECT_FALSE(PeekFrameLength(wire.data(), wire.size()).ok());
+}
+
+TEST(WireMalformedTest, WrongCrcIsRejected) {
+  Bytes wire = SampleFrame();
+  wire[14] ^= 0x01;  // CRC field itself.
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+  wire = SampleFrame();
+  wire.back() ^= 0x01;  // Body byte.
+  auto frame = DecodeFrame(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsCorruption());
+}
+
+TEST(WireMalformedTest, UnknownTypeIsRejectedNotCrashed) {
+  Bytes wire = SampleFrame();
+  wire[5] = 99;  // No such MessageType.
+  FixCrc(wire);
+  auto frame = DecodeFrame(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsCorruption());
+}
+
+TEST(WireMalformedTest, OversizedBodyLengthIsRejected) {
+  Bytes wire = SampleFrame();
+  uint32_t huge = kMaxBodyBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    wire[10 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(huge >> (8 * i));
+  EXPECT_FALSE(PeekFrameLength(wire.data(), wire.size()).ok());
+  EXPECT_FALSE(DecodeFrame(wire).ok());
+}
+
+TEST(WireMalformedTest, ImplausibleElementCountIsRejected) {
+  // A GroupRelay body claiming 2^28 events in a 12-byte frame must fail
+  // the plausibility check, not attempt a giant allocation.
+  BinaryWriter body;
+  body.PutVarint(1u << 28);
+  GroupRelayMsg sample({}, false);
+  Bytes wire = EncodeFrame(sample, NodeId{0, 0});
+  wire.resize(kFrameHeaderBytes);
+  wire.insert(wire.end(), body.buffer().begin(), body.buffer().end());
+  uint32_t body_len = static_cast<uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i)
+    wire[10 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(body_len >> (8 * i));
+  FixCrc(wire);
+  auto frame = DecodeFrame(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsCorruption());
+}
+
+/// Fuzz-ish: random corruption of one byte anywhere in the frame must
+/// yield an error or a well-formed decode — never a crash.
+TEST(WireMalformedTest, SingleByteCorruptionNeverCrashes) {
+  Rng rng(9);
+  for (MessageType type : kAllTypes) {
+    auto msg = MakeMessage(type, rng);
+    Bytes wire = EncodeFrame(*msg, NodeId{1, 1});
+    for (int trial = 0; trial < 32; ++trial) {
+      Bytes corrupt = wire;
+      corrupt[rng.NextBelow(corrupt.size())] ^=
+          static_cast<uint8_t>(1 + rng.NextBelow(255));
+      auto frame = DecodeFrame(corrupt);  // Must not crash.
+      if (frame.ok()) {
+        EXPECT_NE(frame->msg, nullptr);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ Transports
+
+/// Collects delivered frames with a latch the test can wait on.
+struct Sink {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<Frame> frames;
+
+  Transport::DeliverFn fn() {
+    return [this](Frame f) {
+      std::lock_guard<std::mutex> lock(mu);
+      frames.push_back(std::move(f));
+      cv.notify_all();
+    };
+  }
+  bool WaitForCount(size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::seconds(5),
+                       [&] { return frames.size() >= n; });
+  }
+};
+
+TEST(InProcTransportTest, DeliversThroughFullCodec) {
+  InProcHub hub;
+  auto a = hub.CreateTransport(NodeId{0, 0});
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(2, 77);
+  ASSERT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  ASSERT_TRUE(sink_b.WaitForCount(1));
+  EXPECT_EQ(sink_b.frames[0].src, (NodeId{0, 0}));
+  auto& decoded =
+      static_cast<const GroupHeartbeatMsg&>(*sink_b.frames[0].msg);
+  EXPECT_EQ(decoded.gid(), 2);
+  EXPECT_EQ(decoded.last_seq(), 77u);
+
+  EXPECT_EQ(a->stats().frames_sent, 1u);
+  EXPECT_EQ(a->stats().bytes_sent, msg.ByteSize());
+  EXPECT_EQ(b->stats().frames_received, 1u);
+
+  // Unknown destination is a local error, counted, not a crash.
+  EXPECT_FALSE(a->Send(NodeId{9, 9}, msg).ok());
+  EXPECT_EQ(a->stats().send_errors, 1u);
+
+  b->Stop();
+  EXPECT_FALSE(a->Send(NodeId{0, 1}, msg).ok());  // Deregistered.
+  a->Stop();
+  a->Stop();  // Idempotent.
+}
+
+TEST(TcpTransportTest, LoopbackRoundTrip) {
+  TcpPortMap ports = MakeLocalPortMap({2}, /*base=*/19321);
+  TcpTransport a(NodeId{0, 0}, ports);
+  TcpTransport b(NodeId{0, 1}, ports);
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a.Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b.Start(sink_b.fn()).ok());
+
+  // Both directions, including a large frame spanning multiple reads.
+  Rng rng(3);
+  auto big = MakeMessage(MessageType::kEntryTransfer, rng);
+  GroupHeartbeatMsg small(1, 5);
+  ASSERT_TRUE(a.Send(NodeId{0, 1}, *big).ok());
+  ASSERT_TRUE(a.Send(NodeId{0, 1}, small).ok());
+  ASSERT_TRUE(b.Send(NodeId{0, 0}, small).ok());
+
+  ASSERT_TRUE(sink_b.WaitForCount(2));
+  ASSERT_TRUE(sink_a.WaitForCount(1));
+  EXPECT_EQ(sink_b.frames[0].msg->message_type(),
+            MessageType::kEntryTransfer);
+  EXPECT_EQ(sink_b.frames[1].msg->message_type(),
+            MessageType::kGroupHeartbeat);
+  EXPECT_EQ(sink_a.frames[0].src, (NodeId{0, 1}));
+
+  EXPECT_EQ(a.stats().frames_sent, 2u);
+  EXPECT_EQ(b.stats().frames_received, 2u);
+  a.Stop();
+  b.Stop();
+}
+
+TEST(TcpTransportTest, SendToUnmappedNodeFails) {
+  TcpPortMap ports = MakeLocalPortMap({1}, /*base=*/19331);
+  TcpTransport a(NodeId{0, 0}, ports);
+  Sink sink;
+  ASSERT_TRUE(a.Start(sink.fn()).ok());
+  GroupHeartbeatMsg msg(0, 0);
+  EXPECT_FALSE(a.Send(NodeId{5, 5}, msg).ok());
+  EXPECT_EQ(a.stats().send_errors, 1u);
+  a.Stop();
+}
+
+}  // namespace
+}  // namespace massbft

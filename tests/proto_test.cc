@@ -154,11 +154,21 @@ TEST_F(CertificateTest, EncodeDecodeRoundTrip) {
 
 // ---------------------------------------------------------- Message sizes
 
+// ByteSize() must equal frame overhead plus the real encoded body — the
+// encoder is the single source of truth for link accounting.
+size_t EncodedSize(const ProtocolMessage& msg) {
+  BinaryWriter w;
+  msg.EncodeBodyTo(&w);
+  return kFrameOverheadBytes + w.size();
+}
+
 TEST(MessageSizeTest, EnvelopeAddedToEveryMessage) {
   ClientReplyMsg reply(1, true);
-  EXPECT_EQ(reply.ByteSize(), kEnvelopeBytes + 9);
+  EXPECT_EQ(reply.ByteSize(), kFrameOverheadBytes + 9);
+  EXPECT_EQ(reply.ByteSize(), EncodedSize(reply));
   GroupHeartbeatMsg hb(1, 100);
-  EXPECT_EQ(hb.ByteSize(), kEnvelopeBytes + 10);
+  EXPECT_EQ(hb.ByteSize(), kFrameOverheadBytes + 10);
+  EXPECT_EQ(hb.ByteSize(), EncodedSize(hb));
 }
 
 TEST(MessageSizeTest, EntryTransferCarriesEntryAndCert) {
@@ -167,8 +177,11 @@ TEST(MessageSizeTest, EntryTransferCarriesEntryAndCert) {
   Certificate cert;
   cert.sigs.resize(5);
   EntryTransferMsg msg(entry, cert);
-  EXPECT_EQ(msg.ByteSize(),
-            kEnvelopeBytes + entry->ByteSize() + cert.ByteSize());
+  // The entry rides as a length-prefixed blob of its canonical encoding.
+  EXPECT_EQ(msg.ByteSize(), kFrameOverheadBytes +
+                                VarintSize(entry->ByteSize()) +
+                                entry->ByteSize() + cert.ByteSize());
+  EXPECT_EQ(msg.ByteSize(), EncodedSize(msg));
 }
 
 TEST(MessageSizeTest, ChunkBatchAccountsChunksProofsAndCert) {
@@ -181,15 +194,18 @@ TEST(MessageSizeTest, ChunkBatchAccountsChunksProofsAndCert) {
   Certificate cert;
   cert.sigs.resize(5);
   ChunkBatchMsg msg(0, 1, Digest{}, cert, {chunk}, 13000);
-  size_t expected = kEnvelopeBytes + 2 + 8 + 32 + 8 + cert.ByteSize() +
-                    (4 + 2 + 1000 + chunk.proof.ByteSize());
+  size_t expected = kFrameOverheadBytes + 2 + 8 + 32 + 8 + cert.ByteSize() +
+                    /*chunk count varint*/ 1 + chunk.ByteSize();
+  EXPECT_EQ(chunk.ByteSize(), 4 + 2 + 1000 + chunk.proof.ByteSize());
   EXPECT_EQ(msg.ByteSize(), expected);
+  EXPECT_EQ(msg.ByteSize(), EncodedSize(msg));
 }
 
 TEST(MessageSizeTest, SignatureWireSizeMatchesEd25519) {
   // The substituted scheme must not change message sizes (DESIGN.md §2).
   PbftVoteMsg vote(MessageType::kPrepare, 0, 0, Digest{}, Signature{});
-  EXPECT_EQ(vote.ByteSize(), kEnvelopeBytes + 8 + 8 + 32 + 64);
+  EXPECT_EQ(vote.ByteSize(), kFrameOverheadBytes + 8 + 8 + 32 + 64);
+  EXPECT_EQ(vote.ByteSize(), EncodedSize(vote));
 }
 
 TEST(MessageSizeTest, TimestampPiggybackCounted) {

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "core/config.h"
+#include "runtime/cluster.h"
+
+namespace massbft {
+namespace {
+
+RealClusterConfig SmallConfig() {
+  RealClusterConfig config;
+  config.topology = TopologyConfig::Nationwide(/*num_groups=*/2,
+                                               /*nodes_per_group=*/4);
+  config.protocol = ProtocolConfig::MassBft();
+  config.workload = WorkloadKind::kYcsbA;
+  config.workload_scale = 0.02;
+  config.clients_per_group = 8;
+  config.duration_seconds = 1.0;
+  config.seed = 7;
+  return config;
+}
+
+TEST(NodeRuntimeTest, CallRunsInlineBeforeStartAndPostDropsWhenStopped) {
+  RealCluster cluster(SmallConfig());
+  ASSERT_TRUE(cluster.Setup().ok());
+  NodeRuntime& rt = *cluster.runtimes()[0];
+
+  // Before Start() there is no event loop: Call() degrades to an inline
+  // call on this thread and Post() reports the drop.
+  EXPECT_EQ(rt.Call([](GroupNode&) { return 41 + 1; }), 42);
+  EXPECT_FALSE(rt.Post([] {}));
+  EXPECT_EQ(rt.id(), (NodeId{0, 0}));
+}
+
+TEST(RealClusterTest, InProcClusterCommitsAndAgrees) {
+  RealCluster cluster(SmallConfig());
+  ASSERT_TRUE(cluster.Setup().ok());
+  auto result = cluster.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->mode, "real");
+  EXPECT_GT(result->committed_txns, 0u);
+  EXPECT_GT(result->throughput_tps, 0.0);
+  // Real encoded bytes crossed the transport in both tiers.
+  EXPECT_GT(result->total_wan_bytes, 0u);
+  EXPECT_GT(result->total_lan_bytes, 0u);
+}
+
+TEST(RealClusterTest, TcpClusterCommitsAndAgrees) {
+  RealClusterConfig config = SmallConfig();
+  config.use_tcp = true;
+  config.base_port = 19350;
+  config.duration_seconds = 0.5;
+  RealCluster cluster(config);
+  ASSERT_TRUE(cluster.Setup().ok());
+  auto result = cluster.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->committed_txns, 0u);
+  EXPECT_GT(result->total_wan_bytes, 0u);
+}
+
+TEST(RealClusterTest, SetupRejectsInvalidTopology) {
+  RealClusterConfig config = SmallConfig();
+  config.topology.group_sizes.clear();
+  RealCluster cluster(config);
+  EXPECT_FALSE(cluster.Setup().ok());
+}
+
+}  // namespace
+}  // namespace massbft

@@ -1,0 +1,23 @@
+// Fixture: src/net is a real-time directory in the DIR_POLICY table — the
+// transport's job is to touch the OS clock and sockets. Wall-clock use and
+// unordered-container iteration here must stay silent (D1/D2 exempt by
+// policy, not by omission).
+#include <chrono>
+#include <unordered_map>
+
+namespace fake {
+
+std::unordered_map<int, int> conns_;
+
+long PollDeadline() {
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+int CloseAll() {
+  int closed = 0;
+  for (const auto& [fd, state] : conns_) closed += fd + state;
+  return closed;
+}
+
+}  // namespace fake

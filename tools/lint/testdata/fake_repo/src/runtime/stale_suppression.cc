@@ -1,0 +1,13 @@
+// Fixture: src/runtime is D1-exempt by policy, so a wallclock suppression
+// here covers nothing — D5 must flag it as stale instead of letting dead
+// suppressions accumulate across the determinism boundary.
+#include <chrono>
+
+namespace fake {
+
+long Elapsed() {
+  // lint: wallclock-ok(runtime is already exempt; this comment is stale)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fake
