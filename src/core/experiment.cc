@@ -44,6 +44,12 @@ std::string ExperimentResult::ToJson() const {
   w.Member("wall_ms", wall_ms);
   w.Member("events_per_sec", events_per_sec);
   w.Member("sim_time_ratio", sim_time_ratio);
+  w.Member("net_send_errors", net_send_errors);
+  w.Member("net_decode_errors", net_decode_errors);
+  w.Member("net_reconnects", net_reconnects);
+  w.Member("net_dropped_backpressure", net_dropped_backpressure);
+  w.Member("faults_injected", faults_injected);
+  w.Member("nodes_killed", nodes_killed);
   w.Key("phases");
   w.BeginObject();
   w.Member("batching_ms", phases.batching_ms);

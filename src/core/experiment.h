@@ -89,6 +89,18 @@ struct ExperimentResult {
   /// Simulated seconds per wall-clock second (>1 = faster than real time).
   double sim_time_ratio = 0;
 
+  // ---- Transport health (real mode; all zero in sim mode). Aggregated
+  // across every node's transport after the run.
+  uint64_t net_send_errors = 0;
+  uint64_t net_decode_errors = 0;
+  uint64_t net_reconnects = 0;
+  uint64_t net_dropped_backpressure = 0;
+  /// Frames dropped/duplicated/corrupted/delayed by the fault-injection
+  /// layer (real mode with a FaultSpec; see net/fault_transport.h).
+  uint64_t faults_injected = 0;
+  /// Nodes crash-stopped by the run's fault schedule.
+  int nodes_killed = 0;
+
   std::string Summary() const;
   /// Machine-readable dump of every field above (one JSON object).
   std::string ToJson() const;

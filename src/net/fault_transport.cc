@@ -1,0 +1,221 @@
+#include "net/fault_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/telemetry.h"
+
+namespace massbft {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::unique_ptr<Transport> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(std::move(spec)), rng_(spec_.seed) {}
+
+FaultInjectingTransport::~FaultInjectingTransport() { Stop(); }
+
+void FaultInjectingTransport::BindTelemetry(obs::Telemetry* telemetry) {
+  inner_->BindTelemetry(telemetry);
+  if (telemetry == nullptr) return;
+  obs::MetricsRegistry& registry = telemetry->registry();
+  dropped_counter_ = registry.GetCounter("faults/dropped");
+  duplicated_counter_ = registry.GetCounter("faults/duplicated");
+  corrupted_counter_ = registry.GetCounter("faults/corrupted");
+  delayed_counter_ = registry.GetCounter("faults/delayed");
+  partition_counter_ = registry.GetCounter("faults/partition_dropped");
+}
+
+Status FaultInjectingTransport::Start(DeliverFn deliver) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::FailedPrecondition("transport running");
+    // The partition clock starts at the first Start() and keeps ticking
+    // across kill/restart cycles: windows describe cluster time.
+    if (!epoch_set_) {
+      epoch_ = Clock::now();
+      epoch_set_ = true;
+    }
+    running_ = true;
+  }
+  timer_thread_ = std::thread([this] { TimerLoop(); });
+
+  // Partition-filter the deliver path too: during a window a frame from
+  // the far side must not arrive even if the sender's own injector was
+  // not configured (or the frame was already in flight).
+  DeliverFn filtered = [this, deliver = std::move(deliver)](Frame frame) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (PartitionedLocked(frame.src, inner_->self())) {
+        fault_stats_.partition_dropped++;
+        if (partition_counter_ != nullptr) partition_counter_->Add();
+        return;
+      }
+    }
+    deliver(std::move(frame));
+  };
+  Status status = inner_->Start(std::move(filtered));
+  if (!status.ok()) {
+    Stop();
+    return status;
+  }
+  return Status::OK();
+}
+
+void FaultInjectingTransport::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    // Pending delayed frames die with the stop (they were counted when
+    // scheduled; a stopped node sends nothing).
+    while (!delayed_.empty()) delayed_.pop();
+    link_pending_.clear();
+    link_release_.clear();
+  }
+  cv_.notify_all();
+  if (timer_thread_.joinable()) timer_thread_.join();
+  inner_->Stop();
+}
+
+bool FaultInjectingTransport::PartitionedLocked(NodeId a, NodeId b) const {
+  if (spec_.partitions.empty() || !epoch_set_) return false;
+  const double now_s =
+      std::chrono::duration<double>(Clock::now() - epoch_).count();
+  for (const FaultSpec::Partition& p : spec_.partitions) {
+    if (now_s < p.start_s || now_s >= p.end_s) continue;
+    const bool a_in = std::find(p.side_a.begin(), p.side_a.end(), a.group) !=
+                      p.side_a.end();
+    const bool b_in = std::find(p.side_a.begin(), p.side_a.end(), b.group) !=
+                      p.side_a.end();
+    if (a_in != b_in) return true;
+  }
+  return false;
+}
+
+Status FaultInjectingTransport::Send(NodeId dst, const ProtocolMessage& msg) {
+  enum class Action { kPass, kDrop, kPartition, kCorrupt, kDuplicate, kDelay };
+  Action action = Action::kPass;
+  double delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::FailedPrecondition("transport stopped");
+    if (PartitionedLocked(inner_->self(), dst)) {
+      action = Action::kPartition;
+      fault_stats_.partition_dropped++;
+      if (partition_counter_ != nullptr) partition_counter_->Add();
+    } else if (rng_.NextBool(spec_.drop_rate)) {
+      action = Action::kDrop;
+      fault_stats_.dropped++;
+      if (dropped_counter_ != nullptr) dropped_counter_->Add();
+    } else if (rng_.NextBool(spec_.corrupt_rate)) {
+      action = Action::kCorrupt;
+      fault_stats_.corrupted++;
+      if (corrupted_counter_ != nullptr) corrupted_counter_->Add();
+    } else if (rng_.NextBool(spec_.duplicate_rate)) {
+      action = Action::kDuplicate;
+      fault_stats_.duplicated++;
+      if (duplicated_counter_ != nullptr) duplicated_counter_->Add();
+    } else if (rng_.NextBool(spec_.delay_rate)) {
+      action = Action::kDelay;
+      fault_stats_.delayed++;
+      if (delayed_counter_ != nullptr) delayed_counter_->Add();
+      delay_ms = spec_.delay_min_ms +
+                 rng_.NextDouble() * (spec_.delay_max_ms - spec_.delay_min_ms);
+    }
+  }
+
+  switch (action) {
+    case Action::kDrop:
+    case Action::kPartition:
+      // Loss is silent, like the network it models.
+      return Status::OK();
+    case Action::kCorrupt: {
+      Bytes wire = EncodeFrame(msg, inner_->self());
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        size_t index = rng_.NextBelow(wire.size());
+        wire[index] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      }
+      return ForwardFifo(dst, std::move(wire), 0);
+    }
+    case Action::kDuplicate: {
+      Bytes wire = EncodeFrame(msg, inner_->self());
+      Bytes copy = wire;
+      MASSBFT_RETURN_IF_ERROR(ForwardFifo(dst, std::move(wire), 0));
+      return ForwardFifo(dst, std::move(copy), 0);
+    }
+    case Action::kDelay:
+      return ForwardFifo(dst, EncodeFrame(msg, inner_->self()), delay_ms);
+    case Action::kPass:
+      break;
+  }
+  return ForwardFifo(dst, EncodeFrame(msg, inner_->self()), 0);
+}
+
+Status FaultInjectingTransport::ForwardFifo(NodeId dst, Bytes wire,
+                                            double delay_ms) {
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return Status::FailedPrecondition("transport stopped");
+    auto pending = link_pending_.find(dst.Packed());
+    const bool stalled = pending != link_pending_.end() && pending->second > 0;
+    if (delay_ms > 0 || stalled) {
+      Clock::time_point due =
+          Clock::now() + std::chrono::microseconds(
+                             static_cast<int64_t>(delay_ms * 1000.0));
+      // A frame never releases before one queued earlier to the same
+      // destination: the link stalls, it does not reorder.
+      if (stalled) due = std::max(due, link_release_[dst.Packed()]);
+      link_release_[dst.Packed()] = due;
+      ++link_pending_[dst.Packed()];
+      delayed_.push(DelayedFrame{due, delay_seq_++, dst, std::move(wire)});
+      queued = true;
+    }
+  }
+  if (!queued) return inner_->SendEncoded(dst, std::move(wire));
+  // The timer thread releases the frame at `due`.
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status FaultInjectingTransport::SendEncoded(NodeId dst, Bytes wire) {
+  // Raw bytes bypass injection: they come from this injector's own delay /
+  // corruption paths or from tests that already decided the frame's fate.
+  return inner_->SendEncoded(dst, std::move(wire));
+}
+
+void FaultInjectingTransport::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    if (delayed_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point due = delayed_.top().due;
+    if (Clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    // Move out of the heap top (safe: the element is popped immediately
+    // and heap order does not depend on the moved-from wire bytes).
+    DelayedFrame frame = std::move(const_cast<DelayedFrame&>(delayed_.top()));
+    delayed_.pop();
+    lock.unlock();
+    (void)inner_->SendEncoded(frame.dst, std::move(frame.wire));
+    lock.lock();
+    // The frame stays counted as pending until the send above finishes,
+    // so a concurrent Send to the same destination cannot overtake it.
+    auto pending = link_pending_.find(frame.dst.Packed());
+    if (pending != link_pending_.end() && --pending->second == 0) {
+      link_pending_.erase(pending);
+      link_release_.erase(frame.dst.Packed());
+    }
+  }
+}
+
+FaultStats FaultInjectingTransport::fault_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_stats_;
+}
+
+}  // namespace massbft

@@ -1,0 +1,159 @@
+#ifndef MASSBFT_NET_FAULT_TRANSPORT_H_
+#define MASSBFT_NET_FAULT_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace massbft {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+/// Fault schedule for one node's transport (paper Section VI-E-style
+/// failure experiments). Rates are independent per-frame probabilities
+/// drawn from a seeded Rng, so a run with the same seed and message
+/// sequence injects the same faults.
+struct FaultSpec {
+  uint64_t seed = 1;
+  /// P(outbound frame silently dropped).
+  double drop_rate = 0;
+  /// P(outbound frame sent twice).
+  double duplicate_rate = 0;
+  /// P(outbound frame sent with one byte flipped). The receiver's CRC
+  /// rejects it and counts a decode error — corruption on the wire is
+  /// exercised end to end, not simulated as a drop.
+  double corrupt_rate = 0;
+  /// P(outbound frame held back for a uniform delay in [min, max] ms).
+  /// Delay stalls the link rather than reordering it: frames sent to the
+  /// same destination after a delayed frame queue behind it, preserving
+  /// per-link FIFO. Real TCP never reorders within a connection, and the
+  /// VTS ordering engine's lower-bound inference (Algorithm 2) is only
+  /// sound under that per-channel monotonicity — injecting reorderings
+  /// would inject a fault no supported deployment can exhibit.
+  double delay_rate = 0;
+  double delay_min_ms = 1.0;
+  double delay_max_ms = 20.0;
+
+  /// During [start_s, end_s) since Start(), frames crossing between the
+  /// groups in `side_a` and everyone else are dropped in both directions.
+  struct Partition {
+    double start_s = 0;
+    double end_s = 0;
+    std::vector<uint16_t> side_a;
+  };
+  std::vector<Partition> partitions;
+
+  bool any() const {
+    return drop_rate > 0 || duplicate_rate > 0 || corrupt_rate > 0 ||
+           delay_rate > 0 || !partitions.empty();
+  }
+};
+
+/// What the injector did, by fault class.
+struct FaultStats {
+  uint64_t dropped = 0;
+  uint64_t duplicated = 0;
+  uint64_t corrupted = 0;
+  uint64_t delayed = 0;
+  uint64_t partition_dropped = 0;
+  uint64_t total() const {
+    return dropped + duplicated + corrupted + delayed + partition_dropped;
+  }
+};
+
+/// Decorator that wraps any Transport and injects faults on the send path
+/// (drop/duplicate/corrupt/delay, per FaultSpec) plus partition filtering
+/// on both send and deliver paths. Delayed frames are re-sent as encoded
+/// bytes from a dedicated timer thread via the inner transport's
+/// SendEncoded seam, and the delay queue is FIFO per destination — faults
+/// add latency, never reorderings (see FaultSpec::delay_rate); corrupted
+/// frames likewise carry real mangled bytes so the receiving codec's CRC
+/// rejection is exercised.
+///
+/// Observability (after BindTelemetry): counters `faults/dropped`,
+/// `faults/duplicated`, `faults/corrupted`, `faults/delayed`,
+/// `faults/partition_dropped` in the bound registry.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<Transport> inner, FaultSpec spec);
+  ~FaultInjectingTransport() override;
+
+  [[nodiscard]] Status Start(DeliverFn deliver) override;
+  [[nodiscard]] Status Send(NodeId dst, const ProtocolMessage& msg) override;
+  [[nodiscard]] Status SendEncoded(NodeId dst, Bytes wire) override;
+  void Stop() override;
+  void BindTelemetry(obs::Telemetry* telemetry) override;
+  NodeId self() const override { return inner_->self(); }
+  Stats stats() const override { return inner_->stats(); }
+
+  FaultStats fault_stats() const;
+  Transport* inner() { return inner_.get(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct DelayedFrame {
+    Clock::time_point due;
+    uint64_t seq;  // Tie-break so equal due times keep enqueue order.
+    NodeId dst;
+    Bytes wire;
+    bool operator>(const DelayedFrame& other) const {
+      if (due != other.due) return due > other.due;
+      return seq > other.seq;
+    }
+  };
+
+  /// True when an active partition window separates the two nodes.
+  bool PartitionedLocked(NodeId a, NodeId b) const;
+  /// Sends `wire` to dst preserving per-link FIFO: queues it behind any
+  /// still-pending delayed frames to the same destination (with at least
+  /// `delay_ms` of extra latency); sends immediately when the link is
+  /// clear and no delay was drawn.
+  [[nodiscard]] Status ForwardFifo(NodeId dst, Bytes wire, double delay_ms);
+  void TimerLoop();
+
+  std::unique_ptr<Transport> inner_;
+  FaultSpec spec_;
+
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultStats fault_stats_;
+  bool running_ = false;
+  bool epoch_set_ = false;
+  Clock::time_point epoch_;  // Partition windows are relative to this.
+  std::priority_queue<DelayedFrame, std::vector<DelayedFrame>,
+                      std::greater<DelayedFrame>>
+      delayed_;
+  uint64_t delay_seq_ = 0;
+  /// Frames queued or in flight per destination (keyed by NodeId::Packed):
+  /// while nonzero, every new frame to that destination must queue too,
+  /// or it would overtake the delayed ones and reorder the link.
+  std::unordered_map<uint32_t, int> link_pending_;
+  /// Latest scheduled release time per destination; later frames to the
+  /// same destination release no earlier.
+  std::unordered_map<uint32_t, Clock::time_point> link_release_;
+  std::condition_variable cv_;
+  std::thread timer_thread_;
+
+  // Pre-resolved observability handles (null when unwired).
+  obs::Counter* dropped_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
+  obs::Counter* corrupted_counter_ = nullptr;
+  obs::Counter* delayed_counter_ = nullptr;
+  obs::Counter* partition_counter_ = nullptr;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_FAULT_TRANSPORT_H_

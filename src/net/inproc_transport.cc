@@ -8,7 +8,10 @@ class InProcHub::Endpoint : public Transport {
  public:
   Endpoint(InProcHub* hub, NodeId self) : hub_(hub), self_(self) {}
 
-  ~Endpoint() override { Stop(); }
+  ~Endpoint() override {
+    Stop();
+    hub_->Deregister(self_);
+  }
 
   Status Start(DeliverFn deliver) override {
     std::lock_guard<std::mutex> lock(mu_);
@@ -17,7 +20,10 @@ class InProcHub::Endpoint : public Transport {
   }
 
   Status Send(NodeId dst, const ProtocolMessage& msg) override {
-    Bytes wire = EncodeFrame(msg, self_);
+    return SendEncoded(dst, EncodeFrame(msg, self_));
+  }
+
+  Status SendEncoded(NodeId dst, Bytes wire) override {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.frames_sent++;
@@ -32,7 +38,6 @@ class InProcHub::Endpoint : public Transport {
   }
 
   void Stop() override {
-    hub_->Deregister(self_);
     std::lock_guard<std::mutex> lock(mu_);
     deliver_ = nullptr;
   }
@@ -44,26 +49,30 @@ class InProcHub::Endpoint : public Transport {
     return stats_;
   }
 
-  /// Called by the hub on the sender's thread.
-  void Receive(const Bytes& wire) {
+  /// Called by the hub on the sender's thread. False when this endpoint
+  /// is stopped (a stopped node's inbox is a closed socket).
+  bool Receive(const Bytes& wire) {
     DeliverFn deliver;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (!deliver_) return false;
       stats_.bytes_received += wire.size();
       deliver = deliver_;
     }
-    if (!deliver) return;
     auto frame = DecodeFrame(wire);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!frame.ok()) {
         stats_.decode_errors++;
-        return;
+        // Delivered-but-corrupt: the send itself succeeded, like a TCP
+        // stream carrying mangled bytes the receiver's codec rejects.
+        return true;
       }
       stats_.frames_received++;
     }
     // Deliver outside mu_: the callback runs arbitrary receiver code.
     deliver(std::move(*frame));
+    return true;
   }
 
  private:
@@ -91,8 +100,7 @@ bool InProcHub::Route(NodeId dst, const Bytes& wire) {
     if (it != endpoints_.end()) target = it->second;
   }
   if (!target) return false;
-  target->Receive(wire);
-  return true;
+  return target->Receive(wire);
 }
 
 void InProcHub::Deregister(NodeId self) {

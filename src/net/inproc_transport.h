@@ -15,6 +15,10 @@ namespace massbft {
 /// same byte path as TCP, minus the sockets. Delivery is synchronous on
 /// the sender's thread, which keeps tests deterministic: a message is in
 /// the receiver's queue before Send() returns.
+///
+/// Endpoints are restartable: Stop() detaches the deliver callback (sends
+/// to the stopped node fail, like a dead socket) and a later Start()
+/// reattaches it — used by RealCluster::KillNode/RestartNode.
 class InProcHub {
  public:
   InProcHub() = default;

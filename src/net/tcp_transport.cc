@@ -1,91 +1,99 @@
 #include "net/tcp_transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
-#include <thread>
 #include <utility>
+
+#include "obs/telemetry.h"
 
 namespace massbft {
 
 namespace {
 
 constexpr int kPollTimeoutMs = 50;
-constexpr int kDialAttempts = 40;
-constexpr auto kDialRetryDelay = std::chrono::milliseconds(50);
 constexpr size_t kReadChunk = 64 * 1024;
 
 void CloseFd(int fd) {
   if (fd >= 0) ::close(fd);
 }
 
-int DialOnce(uint16_t port) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return -1;
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    CloseFd(fd);
-    return -1;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
-bool WriteAll(int fd, const uint8_t* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    ssize_t n = ::write(fd, data + off, len - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
+  return addr;
 }
 
 }  // namespace
 
-TcpPortMap MakeLocalPortMap(const std::vector<int>& group_sizes,
-                            uint16_t base) {
+Result<TcpPortMap> MakeLocalPortMap(const std::vector<int>& group_sizes,
+                                    uint16_t base) {
+  uint32_t total = 0;
+  for (int size : group_sizes) {
+    if (size < 0) return Status::InvalidArgument("negative group size");
+    total += static_cast<uint32_t>(size);
+  }
+  if (total > 0 && static_cast<uint32_t>(base) + total - 1 > 65535)
+    return Status::InvalidArgument(
+        "port range overflows 65535: base " + std::to_string(base) + " + " +
+        std::to_string(total) + " nodes");
   TcpPortMap ports;
-  uint16_t next = base;
+  uint32_t next = base;
   for (size_t g = 0; g < group_sizes.size(); ++g)
     for (int i = 0; i < group_sizes[g]; ++i)
       ports[NodeId{static_cast<uint16_t>(g), static_cast<uint16_t>(i)}
-                .Packed()] = next++;
+                .Packed()] = static_cast<uint16_t>(next++);
   return ports;
 }
 
 TcpTransport::TcpTransport(NodeId self, TcpPortMap ports)
-    : self_(self), ports_(std::move(ports)) {}
+    : TcpTransport(self, std::move(ports), Options{}) {}
+
+TcpTransport::TcpTransport(NodeId self, TcpPortMap ports, Options options)
+    : self_(self),
+      ports_(std::move(ports)),
+      options_(options),
+      jitter_rng_(0x7C7Bull * (self.Packed() + 1)) {}
 
 TcpTransport::~TcpTransport() { Stop(); }
+
+void TcpTransport::BindTelemetry(obs::Telemetry* telemetry) {
+  if (telemetry == nullptr) return;
+  obs::MetricsRegistry& registry = telemetry->registry();
+  queue_depth_gauge_ = registry.GetGauge("net/queue_depth");
+  reconnects_counter_ = registry.GetCounter("net/reconnects");
+  backpressure_counter_ = registry.GetCounter("net/dropped_backpressure");
+}
 
 Status TcpTransport::Start(DeliverFn deliver) {
   auto it = ports_.find(self_.Packed());
   if (it == ports_.end())
     return Status::InvalidArgument("self has no port assignment");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::FailedPrecondition("transport running");
+  }
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::Unavailable("socket() failed");
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(it->second);
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  sockaddr_in addr = LoopbackAddr(it->second);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     CloseFd(listen_fd_);
@@ -98,9 +106,11 @@ Status TcpTransport::Start(DeliverFn deliver) {
     listen_fd_ = -1;
     return Status::Unavailable("listen() failed");
   }
-  if (::pipe(wake_pipe_) != 0) {
+  if (::pipe(wake_pipe_) != 0 || ::pipe(writer_wake_pipe_) != 0) {
     CloseFd(listen_fd_);
-    listen_fd_ = -1;
+    CloseFd(wake_pipe_[0]);
+    CloseFd(wake_pipe_[1]);
+    listen_fd_ = wake_pipe_[0] = wake_pipe_[1] = -1;
     return Status::Unavailable("pipe() failed");
   }
 
@@ -110,6 +120,7 @@ Status TcpTransport::Start(DeliverFn deliver) {
     running_ = true;
   }
   io_thread_ = std::thread([this] { IoLoop(); });
+  writer_thread_ = std::thread([this] { WriterLoop(); });
   return Status::OK();
 }
 
@@ -119,72 +130,227 @@ void TcpTransport::Stop() {
     if (!running_) return;
     running_ = false;
   }
-  // Wake the poll loop so it observes the flag.
+  // Wake both loops so they observe the flag.
   uint8_t byte = 0;
-  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  [[maybe_unused]] ssize_t n1 = ::write(wake_pipe_[1], &byte, 1);
+  WakeWriter();
   if (io_thread_.joinable()) io_thread_.join();
+  if (writer_thread_.joinable()) writer_thread_.join();
 
   CloseFd(listen_fd_);
   listen_fd_ = -1;
   CloseFd(wake_pipe_[0]);
   CloseFd(wake_pipe_[1]);
+  CloseFd(writer_wake_pipe_[0]);
+  CloseFd(writer_wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
+  writer_wake_pipe_[0] = writer_wake_pipe_[1] = -1;
 
-  std::lock_guard<std::mutex> peers_lock(peers_mu_);
-  for (auto& [packed, peer] : peers_) {
-    std::lock_guard<std::mutex> peer_lock(peer->mu);
-    CloseFd(peer->fd);
-    peer->fd = -1;
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [packed, peer] : peers_) CloseFd(peer->fd);
+  // Drop connection state and queued frames; a restarted transport dials
+  // fresh. Counters survive restarts.
+  peers_.clear();
+  total_queued_frames_ = 0;
+  UpdateQueueGaugeLocked();
 }
 
 Status TcpTransport::Send(NodeId dst, const ProtocolMessage& msg) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return Status::FailedPrecondition("transport stopped");
-  }
-  Peer* peer;
-  {
-    std::lock_guard<std::mutex> lock(peers_mu_);
-    auto& slot = peers_[dst.Packed()];
-    if (!slot) slot = std::make_unique<Peer>();
-    peer = slot.get();
-  }
+  return SendEncoded(dst, EncodeFrame(msg, self_));
+}
 
-  Bytes wire = EncodeFrame(msg, self_);
-  std::lock_guard<std::mutex> peer_lock(peer->mu);
-  if (peer->fd < 0) peer->fd = DialLocked(dst.Packed());
-  if (peer->fd < 0) {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.send_errors++;
-    return Status::Unavailable("connect failed");
-  }
-  if (!WriteAll(peer->fd, wire.data(), wire.size())) {
-    CloseFd(peer->fd);
-    peer->fd = -1;
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.send_errors++;
-    return Status::Unavailable("write failed");
-  }
+Status TcpTransport::SendEncoded(NodeId dst, Bytes wire) {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.frames_sent++;
-  stats_.bytes_sent += wire.size();
+  if (!running_) return Status::FailedPrecondition("transport stopped");
+  if (ports_.find(dst.Packed()) == ports_.end()) {
+    stats_.send_errors++;
+    return Status::NotFound("destination has no port assignment");
+  }
+  Peer& peer = PeerLocked(dst.Packed());
+  if (peer.queue.size() >= options_.max_queue_frames ||
+      peer.queued_bytes + wire.size() > options_.max_queue_bytes) {
+    stats_.dropped_backpressure++;
+    if (backpressure_counter_ != nullptr) backpressure_counter_->Add();
+    return Status::Unavailable("send queue full (backpressure drop)");
+  }
+  peer.queued_bytes += wire.size();
+  peer.queue.push_back(std::move(wire));
+  total_queued_frames_++;
+  UpdateQueueGaugeLocked();
+  WakeWriter();
   return Status::OK();
 }
 
-int TcpTransport::DialLocked(uint32_t dst_packed) {
-  auto it = ports_.find(dst_packed);
-  if (it == ports_.end()) return -1;
-  for (int attempt = 0; attempt < kDialAttempts; ++attempt) {
-    int fd = DialOnce(it->second);
-    if (fd >= 0) return fd;
+TcpTransport::Peer& TcpTransport::PeerLocked(uint32_t dst_packed) {
+  auto& slot = peers_[dst_packed];
+  if (!slot) slot = std::make_unique<Peer>();
+  return *slot;
+}
+
+void TcpTransport::WakeWriter() {
+  if (writer_wake_pipe_[1] < 0) return;
+  uint8_t byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(writer_wake_pipe_[1], &byte, 1);
+}
+
+void TcpTransport::UpdateQueueGaugeLocked() {
+  if (queue_depth_gauge_ != nullptr)
+    queue_depth_gauge_->Set(static_cast<double>(total_queued_frames_));
+}
+
+void TcpTransport::BeginConnectLocked(Peer& peer, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    DisconnectLocked(peer);
+    return;
+  }
+  SetNonBlocking(fd);
+  sockaddr_in addr = LoopbackAddr(port);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) {
+    peer.fd = fd;
+    OnConnectedLocked(peer);
+    return;
+  }
+  if (errno == EINPROGRESS) {
+    peer.fd = fd;
+    peer.state = Peer::State::kConnecting;
+    return;
+  }
+  CloseFd(fd);
+  DisconnectLocked(peer);
+}
+
+void TcpTransport::FinishConnectLocked(Peer& peer) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(peer.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+      err != 0) {
+    CloseFd(peer.fd);
+    peer.fd = -1;
+    DisconnectLocked(peer);
+    return;
+  }
+  OnConnectedLocked(peer);
+}
+
+void TcpTransport::OnConnectedLocked(Peer& peer) {
+  int one = 1;
+  ::setsockopt(peer.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  peer.state = Peer::State::kConnected;
+  peer.backoff_ms = 0;
+  if (peer.ever_connected) {
+    stats_.reconnects++;
+    if (reconnects_counter_ != nullptr) reconnects_counter_->Add();
+  }
+  peer.ever_connected = true;
+  FlushLocked(peer);
+}
+
+void TcpTransport::DisconnectLocked(Peer& peer) {
+  CloseFd(peer.fd);
+  peer.fd = -1;
+  peer.state = Peer::State::kIdle;
+  // A frame already partially on the wire cannot be resumed on a fresh
+  // connection; drop it whole (the BFT layer owns retries).
+  if (peer.write_off > 0 && !peer.queue.empty()) {
+    peer.queued_bytes -= peer.queue.front().size();
+    peer.queue.pop_front();
+    total_queued_frames_--;
+    stats_.send_errors++;
+    UpdateQueueGaugeLocked();
+  }
+  peer.write_off = 0;
+  // Exponential backoff with uniform jitter in [0.5x, 1.5x].
+  peer.backoff_ms = peer.backoff_ms == 0
+                        ? options_.backoff_initial_ms
+                        : std::min(peer.backoff_ms * 2, options_.backoff_max_ms);
+  double jitter = 0.5 + jitter_rng_.NextDouble();
+  peer.next_dial =
+      Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
+                         1000.0 * jitter * peer.backoff_ms));
+}
+
+void TcpTransport::FlushLocked(Peer& peer) {
+  while (!peer.queue.empty()) {
+    const Bytes& front = peer.queue.front();
+    ssize_t n = ::send(peer.fd, front.data() + peer.write_off,
+                       front.size() - peer.write_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // Socket full.
+      DisconnectLocked(peer);  // Peer died mid-write; reconnect with backoff.
+      return;
+    }
+    peer.write_off += static_cast<size_t>(n);
+    if (peer.write_off < front.size()) return;  // Partial; wait for POLLOUT.
+    stats_.frames_sent++;
+    stats_.bytes_sent += front.size();
+    peer.queued_bytes -= front.size();
+    peer.queue.pop_front();
+    peer.write_off = 0;
+    total_queued_frames_--;
+    UpdateQueueGaugeLocked();
+  }
+}
+
+void TcpTransport::WriterLoop() {
+  std::vector<pollfd> fds;
+  std::vector<Peer*> polled;
+  for (;;) {
+    fds.clear();
+    polled.clear();
+    int timeout_ms = kPollTimeoutMs;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!running_) return -1;
+      if (!running_) break;
+      const Clock::time_point now = Clock::now();
+      for (auto& [packed, slot] : peers_) {
+        Peer& peer = *slot;
+        if (peer.state == Peer::State::kIdle && !peer.queue.empty()) {
+          if (now >= peer.next_dial) {
+            auto port_it = ports_.find(packed);
+            if (port_it != ports_.end())
+              BeginConnectLocked(peer, port_it->second);
+          }
+          if (peer.state == Peer::State::kIdle) {
+            // Still backing off: wake when the next dial is due.
+            auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            peer.next_dial - now)
+                            .count();
+            timeout_ms = std::max(
+                1, std::min(timeout_ms, static_cast<int>(wait) + 1));
+          }
+        }
+        if (peer.state == Peer::State::kConnecting ||
+            (peer.state == Peer::State::kConnected && !peer.queue.empty())) {
+          fds.push_back(pollfd{peer.fd, POLLOUT, 0});
+          polled.push_back(&peer);
+        }
+      }
     }
-    std::this_thread::sleep_for(kDialRetryDelay);
+    fds.push_back(pollfd{writer_wake_pipe_[0], POLLIN, 0});
+
+    int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) break;
+
+    if (fds.back().revents & POLLIN) {
+      uint8_t buf[64];
+      [[maybe_unused]] ssize_t n =
+          ::read(writer_wake_pipe_[0], buf, sizeof(buf));
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) break;
+    // Peer objects are stable (unique_ptr values, map never erased while
+    // running), so the pointers collected above remain valid.
+    for (size_t i = 0; i < polled.size(); ++i) {
+      if (!(fds[i].revents & (POLLOUT | POLLERR | POLLHUP))) continue;
+      Peer& peer = *polled[i];
+      if (peer.state == Peer::State::kConnecting) FinishConnectLocked(peer);
+      if (peer.state == Peer::State::kConnected) FlushLocked(peer);
+    }
   }
-  return -1;
 }
 
 bool TcpTransport::DrainFrames(Conn& conn) {

@@ -1,81 +1,150 @@
 #ifndef MASSBFT_NET_TCP_TRANSPORT_H_
 #define MASSBFT_NET_TCP_TRANSPORT_H_
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
+#include "common/rng.h"
 #include "net/transport.h"
 
 namespace massbft {
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
 
 /// Maps every node to its TCP listen port on 127.0.0.1.
 using TcpPortMap = std::unordered_map<uint32_t, uint16_t>;  // Packed -> port
 
 /// Assigns consecutive ports starting at `base` to every node of the
 /// given group sizes, group-major (the order of Topology::AllNodes()).
-[[nodiscard]] TcpPortMap MakeLocalPortMap(const std::vector<int>& group_sizes,
-                                          uint16_t base);
+/// Fails with InvalidArgument when the range would run past port 65535.
+[[nodiscard]] Result<TcpPortMap> MakeLocalPortMap(
+    const std::vector<int>& group_sizes, uint16_t base);
 
-/// Length-prefixed frame transport over localhost TCP.
+/// Length-prefixed frame transport over localhost TCP, built to survive
+/// peer failure without ever blocking the caller.
 ///
-/// One background I/O thread per transport polls the listen socket and all
-/// accepted connections; complete frames are decoded and handed to the
-/// deliver callback on that thread. Sends run on the caller's thread over
-/// lazily-established outbound connections (one per destination, guarded by
-/// a per-destination mutex), so connections are used one-directionally:
-/// A->B traffic flows on the connection A dialed, B->A on B's.
+/// Threads:
+///  * One reader thread polls the listen socket and all accepted
+///    connections; complete frames are decoded and handed to the deliver
+///    callback on that thread.
+///  * One writer thread owns every outbound connection. Send() only
+///    encodes and enqueues onto a bounded per-peer queue (drop-with-counter
+///    on overflow — BFT protocols tolerate loss, unbounded memory does
+///    not), so a send to a dead peer returns in microseconds. The writer
+///    establishes connections with non-blocking connect() and retries with
+///    exponential backoff plus jitter; queued frames wait for the
+///    connection and flow once it lands.
 ///
-/// Frames carry the sender id, so no handshake is needed; a reader learns
-/// who is talking from the frames themselves. A connection that delivers a
-/// corrupt frame is closed (stream framing is lost once bytes are bad);
-/// the peer re-dials on its next send.
+/// All socket writes use MSG_NOSIGNAL on non-blocking sockets: a peer that
+/// closes mid-write yields an error handled by reconnect, never SIGPIPE.
+///
+/// Connections are used one-directionally: A->B traffic flows on the
+/// connection A dialed, B->A on B's. Frames carry the sender id, so no
+/// handshake is needed. A connection that delivers a corrupt frame is
+/// closed (stream framing is lost once bytes are bad); the sender's writer
+/// re-dials with backoff.
+///
+/// Observability (after BindTelemetry): gauge `net/queue_depth` (total
+/// frames queued across peers), counters `net/reconnects` and
+/// `net/dropped_backpressure`.
 class TcpTransport : public Transport {
  public:
+  struct Options {
+    /// Per-peer send-queue bounds; the first one exceeded drops the frame.
+    size_t max_queue_frames = 1024;
+    size_t max_queue_bytes = 16 * 1024 * 1024;
+    /// Reconnect backoff: initial delay doubles to the max, each delay
+    /// jittered uniformly in [0.5x, 1.5x] to avoid thundering redials.
+    int backoff_initial_ms = 5;
+    int backoff_max_ms = 640;
+  };
+
+  // Two overloads instead of `Options options = Options{}`: a default
+  // argument may not use the NSDMIs of a nested class still being defined.
   TcpTransport(NodeId self, TcpPortMap ports);
+  TcpTransport(NodeId self, TcpPortMap ports, Options options);
   ~TcpTransport() override;
 
   [[nodiscard]] Status Start(DeliverFn deliver) override;
   [[nodiscard]] Status Send(NodeId dst, const ProtocolMessage& msg) override;
+  [[nodiscard]] Status SendEncoded(NodeId dst, Bytes wire) override;
   void Stop() override;
+  void BindTelemetry(obs::Telemetry* telemetry) override;
   NodeId self() const override { return self_; }
   Stats stats() const override;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Conn {
     int fd = -1;
     Bytes buffer;  // Unconsumed inbound bytes.
   };
+
+  /// Outbound state machine for one destination. Owned by the writer
+  /// thread; all fields are guarded by mu_ (socket syscalls are
+  /// non-blocking, so holding mu_ across them is bounded).
   struct Peer {
-    std::mutex mu;  // Serializes connect+write per destination.
+    enum class State { kIdle, kConnecting, kConnected };
+    State state = State::kIdle;
     int fd = -1;
+    std::deque<Bytes> queue;
+    size_t queued_bytes = 0;
+    size_t write_off = 0;  // Bytes of queue.front() already on the wire.
+    Clock::time_point next_dial{};  // Earliest next connect attempt.
+    int backoff_ms = 0;             // 0 = connect immediately.
+    bool ever_connected = false;
   };
 
   void IoLoop();
+  void WriterLoop();
   /// Consumes complete frames from `conn.buffer`; returns false when the
   /// connection must be closed (corrupt stream).
   bool DrainFrames(Conn& conn);
-  /// Dials `dst`, retrying briefly so Start() races at cluster boot don't
-  /// drop the first messages. Returns -1 on failure.
-  int DialLocked(uint32_t dst_packed);
+
+  Peer& PeerLocked(uint32_t dst_packed);
+  void BeginConnectLocked(Peer& peer, uint16_t port);
+  void FinishConnectLocked(Peer& peer);
+  void OnConnectedLocked(Peer& peer);
+  /// Drops the connection and schedules the next dial with backoff.
+  void DisconnectLocked(Peer& peer);
+  /// Writes as much queued data as the socket accepts right now.
+  void FlushLocked(Peer& peer);
+  void UpdateQueueGaugeLocked();
+  void WakeWriter();
 
   NodeId self_;
   TcpPortMap ports_;
+  Options options_;
 
-  mutable std::mutex mu_;  // Guards deliver_, stats_, running flips.
+  mutable std::mutex mu_;  // Guards stats_, running_, deliver_, peers_.
   DeliverFn deliver_;
   Stats stats_;
   bool running_ = false;
+  std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_;
+  size_t total_queued_frames_ = 0;
+  Rng jitter_rng_;
+
+  // Pre-resolved observability handles (null when unwired).
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  obs::Counter* reconnects_counter_ = nullptr;
+  obs::Counter* backpressure_counter_ = nullptr;
 
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  int wake_pipe_[2] = {-1, -1};         // Wakes the reader.
+  int writer_wake_pipe_[2] = {-1, -1};  // Wakes the writer.
   std::thread io_thread_;
-
-  std::mutex peers_mu_;  // Guards the peers_ map itself.
-  std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_;
+  std::thread writer_thread_;
 };
 
 }  // namespace massbft

@@ -10,6 +10,10 @@
 
 namespace massbft {
 
+namespace obs {
+class Telemetry;
+}  // namespace obs
+
 /// Point-to-point frame transport for one node. Implementations encode
 /// outgoing messages with EncodeFrame and hand decoded frames to the
 /// deliver callback.
@@ -18,6 +22,11 @@ namespace massbft {
 /// The deliver callback may be invoked from a transport-internal thread (or
 /// from the *sender's* thread for the in-process transport) — receivers
 /// must enqueue into their own event loop rather than process inline.
+///
+/// Liveness contract: Send() never blocks on the network. A send to a dead
+/// or slow peer enqueues (or drops, with a counter) and returns
+/// immediately; connection management happens on transport-internal
+/// threads.
 class Transport {
  public:
   using DeliverFn = std::function<void(Frame frame)>;
@@ -31,21 +40,44 @@ class Transport {
     uint64_t decode_errors = 0;
     /// Sends dropped because the destination was unknown or unreachable.
     uint64_t send_errors = 0;
+    /// Sends dropped because the destination's bounded queue was full.
+    /// BFT protocols tolerate loss; dropping beats unbounded memory.
+    uint64_t dropped_backpressure = 0;
+    /// Successful connection establishments after the first one per peer
+    /// (each one means a previous connection died and backoff recovered).
+    uint64_t reconnects = 0;
   };
 
   virtual ~Transport() = default;
 
   /// Begins delivering inbound frames. Must be called before Send().
+  /// Implementations are restartable: Start() after Stop() resumes
+  /// operation (fresh connections, retained counters).
   [[nodiscard]] virtual Status Start(DeliverFn deliver) = 0;
 
   /// Encodes and sends `msg` to `dst`. Delivery is best-effort (the BFT
   /// layer owns retries/timeouts); an error Status reports only local
-  /// failures such as an unknown destination.
+  /// failures such as an unknown destination or a full send queue.
   [[nodiscard]] virtual Status Send(NodeId dst, const ProtocolMessage& msg) = 0;
+
+  /// Sends pre-encoded wire bytes verbatim. The bytes need not decode
+  /// cleanly — this is the seam fault injectors use to put corrupted
+  /// frames on the wire so receiver-side CRC rejection is exercised for
+  /// real. Default: not supported.
+  [[nodiscard]] virtual Status SendEncoded(NodeId dst, Bytes wire) {
+    (void)dst;
+    (void)wire;
+    return Status::Unavailable("SendEncoded not supported by this transport");
+  }
 
   /// Stops delivery and releases transport resources. Idempotent. After
   /// Stop() returns, the deliver callback will not be invoked again.
   virtual void Stop() = 0;
+
+  /// Points the transport at a node's observability context so it can
+  /// publish `net/*` series (queue depth, reconnects, backpressure drops).
+  /// Must be called before Start(); optional (no-op by default).
+  virtual void BindTelemetry(obs::Telemetry* telemetry) { (void)telemetry; }
 
   virtual NodeId self() const = 0;
   virtual Stats stats() const = 0;

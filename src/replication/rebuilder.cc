@@ -51,7 +51,16 @@ EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
   if (complete()) return Count(AddResult::kDuplicate);
   if (chunk_id >= static_cast<uint32_t>(config_.n_total))
     return Count(AddResult::kRejected);
-  if (banned_ids_.contains(chunk_id)) return Count(AddResult::kDuplicate);
+  // Refill-DoS defense (Section IV-C), scoped to the proven-fake *root*:
+  // chunks for a root whose bucket failed validation are refused before
+  // any proof verification, so refills of a fake bucket stay O(1). The
+  // ban must not be global by chunk id — chunks of a different root are a
+  // different candidate entry, and a Byzantine bucket covering ids
+  // 0..n_data-1 must not block the genuine entry's chunks with the same
+  // ids (that would trade a DoS defense for a liveness hole).
+  if (auto it = buckets_.find(root);
+      it != buckets_.end() && it->second.proven_fake)
+    return Count(AddResult::kDuplicate);
 
   // The Merkle tree is built over all n_total chunks in id order, so the
   // proof's leaf index must equal the chunk id and its leaf count must
@@ -63,7 +72,6 @@ EntryRebuilder::AddResult EntryRebuilder::AddChunk(const Digest& root,
     return Count(AddResult::kRejected);
 
   Bucket& bucket = buckets_[root];
-  if (bucket.proven_fake) return Count(AddResult::kDuplicate);
   auto [it, inserted] = bucket.chunks.emplace(
       chunk_id, std::make_pair(data, proof));
   if (!inserted) return Count(AddResult::kDuplicate);
@@ -95,11 +103,13 @@ EntryRebuilder::AddResult EntryRebuilder::TryRebuild(const Digest& root,
   }
 
   if (!valid) {
-    // Every chunk in this bucket is provably fake (they share the root);
-    // ban their ids so refills cannot force repeated rebuild attempts
-    // (DoS defense, Section IV-C).
+    // Every chunk in this bucket is provably fake (they share the root).
+    // Mark the root so its refills are refused without another rebuild
+    // attempt (DoS defense, Section IV-C) and free the chunk data — a
+    // fake bucket must not pin memory either.
     bucket.proven_fake = true;
-    for (const auto& [id, chunk] : bucket.chunks) banned_ids_.insert(id);
+    banned_total_ += bucket.chunks.size();
+    bucket.chunks.clear();
     return AddResult::kBucketFake;
   }
 

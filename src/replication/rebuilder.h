@@ -5,7 +5,6 @@
 #include <functional>
 #include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/bytes.h"
@@ -26,8 +25,14 @@ namespace massbft {
 /// from one candidate entry, so tampered chunks can never pollute a correct
 /// bucket. Once a bucket holds n_data distinct chunk ids the entry is
 /// rebuilt and validated against the PBFT certificate; a failed validation
-/// proves every chunk in that bucket fake, and their chunk ids are banned
-/// to stop DoS-by-refill.
+/// proves every chunk in that bucket fake. The fake *root* is remembered
+/// (and the bucket's memory freed) so refills of it are refused in O(1)
+/// without re-verification or another rebuild — DoS-by-refill defense.
+/// The ban is per-root, never global by chunk id: a Byzantine bucket
+/// covering ids 0..n_data-1 must not block the genuine bucket's chunks
+/// with the same ids. Filling a fresh fake bucket costs the attacker
+/// n_data valid Merkle proofs under a new root per rebuild attempt — the
+/// cost asymmetry favors the defender.
 class EntryRebuilder {
  public:
   struct Config {
@@ -47,10 +52,10 @@ class EntryRebuilder {
   /// Outcome of feeding one chunk.
   enum class AddResult {
     kPending,      // Stored; not enough chunks yet.
-    kDuplicate,    // Already had this chunk (or its id is banned).
+    kDuplicate,    // Already had this chunk (or its root is proven fake).
     kRejected,     // Bad Merkle proof / id out of range.
     kRebuilt,      // Entry reconstructed and validated; see entry().
-    kBucketFake,   // Bucket filled but failed validation; ids banned.
+    kBucketFake,   // Bucket filled but failed validation; root banned.
   };
 
   explicit EntryRebuilder(Config config);
@@ -73,7 +78,8 @@ class EntryRebuilder {
   };
   std::vector<HeldChunk> HeldChunks() const;
 
-  int banned_count() const { return static_cast<int>(banned_ids_.size()); }
+  /// Total chunks discarded inside proven-fake buckets (per-root scope).
+  int banned_count() const { return static_cast<int>(banned_total_); }
   int bucket_count() const { return static_cast<int>(buckets_.size()); }
 
  private:
@@ -89,7 +95,7 @@ class EntryRebuilder {
 
   Config config_;
   std::map<Digest, Bucket> buckets_;
-  std::set<uint32_t> banned_ids_;
+  size_t banned_total_ = 0;
   EntryPtr entry_;
   Digest winning_root_{};
   // Pre-resolved observability handles (null when not wired).

@@ -1,8 +1,11 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
+
+#include "sim/metrics.h"  // InterpolatedPercentile
 
 namespace massbft {
 
@@ -15,10 +18,8 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
-double Percentile(std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0;
-  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+std::string NodeName(NodeId id) {
+  return std::to_string(id.group) + "/" + std::to_string(id.index);
 }
 
 }  // namespace
@@ -38,8 +39,15 @@ Status RealCluster::Setup() {
   registry_ = std::make_unique<KeyRegistry>();
 
   TcpPortMap ports;
-  if (config_.use_tcp)
-    ports = MakeLocalPortMap(config_.topology.group_sizes, config_.base_port);
+  if (config_.use_tcp) {
+    Result<TcpPortMap> port_map =
+        MakeLocalPortMap(config_.topology.group_sizes, config_.base_port);
+    MASSBFT_RETURN_IF_ERROR(port_map.status());
+    // swap, not move-assign: GCC 12's -Wfree-nonheap-object misfires on
+    // the (guarded, unreachable) bucket deallocation a move-assignment of
+    // an unordered_map inlines here.
+    ports.swap(*port_map);
+  }
 
   // All runtimes (and thus all GroupNodes) are built here on the calling
   // thread: KeyRegistry::RegisterNode is not thread-safe, and nodes verify
@@ -49,6 +57,18 @@ Status RealCluster::Setup() {
         config_.use_tcp
             ? std::unique_ptr<Transport>(new TcpTransport(id, ports))
             : hub_.CreateTransport(id);
+    if (config_.net_faults.any()) {
+      // Per-node injector with a seed derived from the cluster seed and
+      // the node id: every node draws an independent but reproducible
+      // fault sequence.
+      FaultSpec spec = config_.net_faults;
+      spec.seed = config_.net_faults.seed * 0x9E3779B97F4A7C15ULL +
+                  static_cast<uint64_t>(id.Packed()) + 1;
+      auto injector = std::make_unique<FaultInjectingTransport>(
+          std::move(transport), spec);
+      fault_transports_.push_back(injector.get());
+      transport = std::move(injector);
+    }
     auto rt = std::make_unique<NodeRuntime>(
         id, config_.protocol, config_.workload, config_.workload_scale,
         registry_.get(), topology_.get(), std::move(transport));
@@ -117,6 +137,82 @@ void RealCluster::OnTxnCommitted(const Transaction& txn) {
   if (issuing_.load(std::memory_order_relaxed)) SubmitNext(client_index);
 }
 
+Status RealCluster::KillNode(NodeId id) {
+  NodeRuntime* rt = runtime(id);
+  if (rt == nullptr)
+    return Status::NotFound("no such node " + NodeName(id));
+  if (!rt->running())
+    return Status::FailedPrecondition("node " + NodeName(id) +
+                                      " already stopped");
+  // Crash on the event loop first (cancels protocol timers via the epoch
+  // bump) so a later restart resumes a node that knows it crashed, then
+  // tear the runtime — and its transport — down.
+  rt->Call([](GroupNode& n) {
+    n.Crash();
+    return true;
+  });
+  rt->Stop();
+  killed_.push_back(id);
+  ++nodes_killed_;
+  return Status::OK();
+}
+
+Status RealCluster::RestartNode(NodeId id) {
+  NodeRuntime* rt = runtime(id);
+  if (rt == nullptr)
+    return Status::NotFound("no such node " + NodeName(id));
+  if (rt->running())
+    return Status::FailedPrecondition("node " + NodeName(id) +
+                                      " is running");
+  MASSBFT_RETURN_IF_ERROR(rt->Start());
+  // Rejoin on the fresh event loop: Recover() re-arms the timers and, for
+  // a leader, requests catch-up from a peer group (paper Section V-C). The
+  // runtime deliberately did not re-run GroupNode::Start().
+  rt->Post([rt] { rt->node().Recover(); });
+  return Status::OK();
+}
+
+bool RealCluster::EligibleForAgreement(NodeRuntime& rt) {
+  // Killed nodes have no live state; rejoined nodes are catching-up
+  // learners whose re-derived interleaving is not authoritative (the same
+  // rule as Experiment::CheckAgreement).
+  if (!rt.running()) return false;
+  return !rt.Call([](GroupNode& n) { return n.rejoined(); });
+}
+
+Status RealCluster::IssueWindow() {
+  const auto start = Clock::now();
+  auto sleep_until_offset = [&](double offset_s) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(offset_s)));
+  };
+  const bool crashes =
+      config_.crash_nodes_per_group > 0 && config_.crash_at_s > 0;
+  if (crashes) {
+    sleep_until_offset(std::min(config_.crash_at_s,
+                                config_.duration_seconds));
+    // Kill the highest-indexed followers of every group; index 0 (the
+    // leader clients submit to) always survives.
+    for (int g = 0; g < topology_->num_groups(); ++g) {
+      const int size = config_.topology.group_sizes[static_cast<size_t>(g)];
+      const int count = std::min(config_.crash_nodes_per_group, size - 1);
+      for (int k = 0; k < count; ++k) {
+        MASSBFT_RETURN_IF_ERROR(
+            KillNode(NodeId{static_cast<uint16_t>(g),
+                            static_cast<uint16_t>(size - 1 - k)}));
+      }
+    }
+    if (config_.restart_at_s > config_.crash_at_s) {
+      sleep_until_offset(std::min(config_.restart_at_s,
+                                  config_.duration_seconds));
+      for (NodeId id : killed_) MASSBFT_RETURN_IF_ERROR(RestartNode(id));
+    }
+  }
+  sleep_until_offset(config_.duration_seconds);
+  return Status::OK();
+}
+
 bool RealCluster::DrainUntilStable() {
   // A VTS cluster never fully quiesces: the tail entries of each group can
   // only execute once other groups' clocks pass them, so idle leaders keep
@@ -133,14 +229,18 @@ bool RealCluster::DrainUntilStable() {
   while (Clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     bool all_equal = true;
+    bool have_first = false;
     uint64_t first = 0;
-    for (size_t i = 0; i < runtimes_.size(); ++i) {
-      uint64_t fp = runtimes_[i]->Call(
+    for (auto& rt : runtimes_) {
+      if (!EligibleForAgreement(*rt)) continue;
+      uint64_t fp = rt->Call(
           [](GroupNode& n) { return n.store().StateFingerprint(); });
-      if (i == 0)
+      if (!have_first) {
         first = fp;
-      else
+        have_first = true;
+      } else {
         all_equal = all_equal && fp == first;
+      }
     }
     uint64_t committed = committed_.load();
     if (all_equal && committed == prev_committed) {
@@ -163,8 +263,9 @@ Result<ExperimentResult> RealCluster::Run() {
   issuing_.store(true);
   for (size_t i = 0; i < clients_.size(); ++i) SubmitNext(i);
 
-  std::this_thread::sleep_for(
-      std::chrono::duration<double>(config_.duration_seconds));
+  // Sleep out the issuing window, executing the crash/restart schedule at
+  // its configured offsets.
+  MASSBFT_RETURN_IF_ERROR(IssueWindow());
   issuing_.store(false);
   const double issue_window_s =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
@@ -176,27 +277,36 @@ Result<ExperimentResult> RealCluster::Run() {
                             "within the drain timeout");
 
   // Collect per-node state through each node's own event loop, then stop.
+  // Killed and rejoined nodes sit out the agreement check (same rule as
+  // Experiment::CheckAgreement).
+  std::vector<NodeId> agreed;
   std::vector<uint64_t> fingerprints;
   std::vector<std::vector<std::pair<uint16_t, uint64_t>>> logs;
   for (auto& rt : runtimes_) {
+    if (!EligibleForAgreement(*rt)) continue;
+    agreed.push_back(rt->id());
     fingerprints.push_back(
         rt->Call([](GroupNode& n) { return n.store().StateFingerprint(); }));
     logs.push_back(rt->Call([](GroupNode& n) { return n.execution_log(); }));
   }
   for (auto& rt : runtimes_) rt->Stop();
 
+  if (fingerprints.empty())
+    return Status::Internal(
+        "no continuously-correct node survived to the agreement check");
+
   // Agreement: identical fingerprints, and identical execution order over
   // the common prefix (lengths differ only by the still-moving empty-entry
   // tail; see DrainUntilStable).
-  for (size_t i = 1; i < runtimes_.size(); ++i) {
+  for (size_t i = 1; i < fingerprints.size(); ++i) {
     if (fingerprints[i] != fingerprints[0])
       return Status::Internal("state fingerprint divergence at node " +
-                              std::to_string(i));
+                              NodeName(agreed[i]));
     size_t limit = std::min(logs[i].size(), logs[0].size());
     for (size_t k = 0; k < limit; ++k) {
       if (logs[i][k] != logs[0][k])
         return Status::Internal(
-            "execution order divergence at node " + std::to_string(i) +
+            "execution order divergence at node " + NodeName(agreed[i]) +
             " position " + std::to_string(k));
     }
   }
@@ -215,13 +325,22 @@ Result<ExperimentResult> RealCluster::Run() {
     double sum = 0;
     for (double v : all_latencies) sum += v;
     result.mean_latency_ms = sum / static_cast<double>(all_latencies.size());
-    result.p50_latency_ms = Percentile(all_latencies, 0.5);
-    result.p99_latency_ms = Percentile(all_latencies, 0.99);
+    result.p50_latency_ms = InterpolatedPercentile(all_latencies, 0.5);
+    result.p99_latency_ms = InterpolatedPercentile(all_latencies, 0.99);
   }
   for (auto& rt : runtimes_) {
     result.total_wan_bytes += rt->network().wan_bytes_sent();
     result.total_lan_bytes += rt->network().lan_bytes_sent();
+    // Transport counters survive Stop(); aggregate cluster-wide.
+    const Transport::Stats stats = rt->transport().stats();
+    result.net_send_errors += stats.send_errors;
+    result.net_decode_errors += stats.decode_errors;
+    result.net_reconnects += stats.reconnects;
+    result.net_dropped_backpressure += stats.dropped_backpressure;
   }
+  for (const FaultInjectingTransport* injector : fault_transports_)
+    result.faults_injected += injector->fault_stats().total();
+  result.nodes_killed = nodes_killed_;
   if (!logs.empty()) result.entries_proposed = logs[0].size();
   result.wall_ms = MsSince(wall_start);
   if (result.entries_proposed > 0)

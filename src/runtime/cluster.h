@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/experiment.h"
+#include "net/fault_transport.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
 #include "runtime/node_runtime.h"
@@ -34,6 +35,21 @@ struct RealClusterConfig {
   /// false = in-process transport fabric; true = TCP over localhost.
   bool use_tcp = false;
   uint16_t base_port = 18200;
+
+  /// Network fault injection: when any() is true every node's transport is
+  /// wrapped in a FaultInjectingTransport (per-node seed derived from
+  /// FaultSpec::seed, so runs are reproducible). Partition windows are
+  /// offsets from Run()'s start.
+  FaultSpec net_faults;
+  /// Crash-stop the highest-indexed `crash_nodes_per_group` nodes of every
+  /// group (never the leader) at `crash_at_s` seconds into the run. Keep it
+  /// <= f per group for the survivors to stay live.
+  int crash_nodes_per_group = 0;
+  double crash_at_s = 0;
+  /// Restart the crashed nodes at this offset (0 = they stay down). The
+  /// restarted nodes rejoin via GroupNode::Recover() and are excluded from
+  /// the final agreement check, mirroring Experiment::CheckAgreement.
+  double restart_at_s = 0;
 };
 
 /// Builds one NodeRuntime per node, drives closed-loop clients against the
@@ -55,9 +71,21 @@ class RealCluster {
   /// are started yet).
   [[nodiscard]] Status Setup();
 
-  /// Runs the cluster: start, issue, drain, verify agreement, stop.
+  /// Runs the cluster: start, issue (executing the crash/restart schedule),
+  /// drain, verify agreement across continuously-correct nodes, stop.
   /// Fails with Internal if surviving nodes' states diverge.
   [[nodiscard]] Result<ExperimentResult> Run();
+
+  /// Crash-stops one node: GroupNode::Crash() on its event loop, then the
+  /// runtime (transport included) is stopped. Callable mid-run from the
+  /// driving thread.
+  [[nodiscard]] Status KillNode(NodeId id);
+
+  /// Restarts a killed node and posts GroupNode::Recover() — the node
+  /// rejoins, catches up from a peer, and resumes, but stays excluded from
+  /// agreement checks (it is a catching-up learner; see
+  /// GroupNode::rejoined()).
+  [[nodiscard]] Status RestartNode(NodeId id);
 
   const std::vector<std::unique_ptr<NodeRuntime>>& runtimes() const {
     return runtimes_;
@@ -78,9 +106,17 @@ class RealCluster {
   void SubmitNext(size_t client_index);
   /// Fired on the origin-group leader's event-loop thread.
   void OnTxnCommitted(const Transaction& txn);
-  /// Waits until every node holds the same state fingerprint and commits
-  /// have stopped (two stable readings in a row); false on drain timeout.
+  /// True when `rt` should participate in agreement checks: running and
+  /// never crashed (a rejoined learner's re-derived state is not
+  /// authoritative).
+  bool EligibleForAgreement(NodeRuntime& rt);
+  /// Waits until every eligible node holds the same state fingerprint and
+  /// commits have stopped (two stable readings in a row); false on drain
+  /// timeout.
   bool DrainUntilStable();
+  /// Executes the configured crash/restart schedule while sleeping out the
+  /// transaction-issuing window.
+  [[nodiscard]] Status IssueWindow();
 
   RealClusterConfig config_;
   std::unique_ptr<Topology> topology_;
@@ -98,6 +134,13 @@ class RealCluster {
   std::atomic<bool> issuing_{false};
   std::atomic<uint64_t> committed_{0};
   bool setup_done_ = false;
+
+  /// Non-owning views of the per-node injectors (owned by the runtimes'
+  /// transport chain); empty when net_faults.any() is false.
+  std::vector<FaultInjectingTransport*> fault_transports_;
+  /// Nodes crash-stopped by KillNode (in kill order).
+  std::vector<NodeId> killed_;
+  int nodes_killed_ = 0;
 };
 
 }  // namespace massbft

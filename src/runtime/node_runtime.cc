@@ -39,17 +39,29 @@ NodeRuntime::NodeRuntime(NodeId id, const ProtocolConfig& protocol,
   ctx_.registry = registry;
   ctx_.topology = topology;
   ctx_.workload = workload_.get();
+  // Wire the transport's net/* series into this node's registry before any
+  // thread exists (instrument handles must be resolved single-threaded).
+  transport_->BindTelemetry(ctx_.telemetry);
   node_ = std::make_unique<GroupNode>(&sim_, &network_, id, protocol, &ctx_);
 }
 
 NodeRuntime::~NodeRuntime() { Stop(); }
 
 Status NodeRuntime::Start() {
+  bool first_start;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (running_) return Status::FailedPrecondition("runtime already running");
     running_ = true;
-    epoch_ = std::chrono::steady_clock::now();
+    first_start = !started_once_;
+    // The virtual clock's epoch is set exactly once: a restarted node's
+    // simulator must keep moving forward (its pending timers were armed
+    // against the original epoch), so downtime appears as a clock jump,
+    // never a clock rewind.
+    if (first_start) {
+      epoch_ = std::chrono::steady_clock::now();
+      started_once_ = true;
+    }
   }
   Status s = transport_->Start([this](Frame frame) { Deliver(std::move(frame)); });
   if (!s.ok()) {
@@ -58,7 +70,10 @@ Status NodeRuntime::Start() {
     return s;
   }
   thread_ = std::thread([this] { Loop(); });
-  Post([this] { node_->Start(); });
+  // First boot arms the node's timers. A restart does not: the caller
+  // decides the rejoin protocol (RealCluster posts GroupNode::Recover(),
+  // which bumps the timer epoch and re-arms).
+  if (first_start) Post([this] { node_->Start(); });
   return Status::OK();
 }
 
@@ -73,6 +88,10 @@ void NodeRuntime::Stop() {
   }
   cv_.notify_one();
   if (thread_.joinable()) thread_.join();
+  // Work posted but never run dies here; a restart must not replay a
+  // stale batch from before the crash.
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
 }
 
 bool NodeRuntime::Post(std::function<void()> fn) {

@@ -99,13 +99,24 @@ class NodeRuntime {
     ctx_.on_txn_committed = std::move(fn);
   }
 
-  /// Starts the transport and the event loop, then arms the node's timers
-  /// (GroupNode::Start()) on the loop thread.
+  /// Starts the transport and the event loop. The first call also arms the
+  /// node's timers (GroupNode::Start()) on the loop thread; a restart after
+  /// Stop() does not — the caller owns the rejoin protocol (RealCluster
+  /// posts GroupNode::Recover()). The virtual-clock epoch is set on the
+  /// first start only, so a restarted node sees its downtime as a forward
+  /// clock jump rather than a rewind.
   [[nodiscard]] Status Start();
 
   /// Stops the transport (no further deliveries), then joins the loop
-  /// thread. Queued-but-unprocessed work is dropped. Idempotent.
+  /// thread. Queued-but-unprocessed work is dropped. Idempotent, and
+  /// Start() may be called again afterwards (crash/restart experiments).
   void Stop();
+
+  /// True between a successful Start() and the next Stop().
+  bool running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+  }
 
   /// Enqueues `fn` to run on the event-loop thread. Safe from any thread.
   /// Returns false (and drops `fn`) when the runtime is not running.
@@ -146,10 +157,11 @@ class NodeRuntime {
   ClusterContext ctx_;
   std::unique_ptr<GroupNode> node_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::function<void()>> queue_;
   bool running_ = false;
+  bool started_once_ = false;
   std::chrono::steady_clock::time_point epoch_;
   std::thread thread_;
 };

@@ -23,13 +23,8 @@ double LatencyStats::MeanMs() const {
 double LatencyStats::PercentileMs(double p) const {
   if (samples_.empty()) return 0.0;
   EnsureSorted();
-  double rank = p * static_cast<double>(samples_.size() - 1);
-  size_t lo = static_cast<size_t>(std::floor(rank));
-  size_t hi = static_cast<size_t>(std::ceil(rank));
-  double frac = rank - static_cast<double>(lo);
-  double v = static_cast<double>(samples_[lo]) * (1.0 - frac) +
-             static_cast<double>(samples_[hi]) * frac;
-  return v / static_cast<double>(kMillisecond);
+  return InterpolatedPercentile(samples_, p) /
+         static_cast<double>(kMillisecond);
 }
 
 void MetricsCollector::RecordCommit(SimTime submit_time, SimTime commit_time,

@@ -9,6 +9,23 @@
 
 namespace massbft {
 
+/// Linear-interpolated percentile over an ascending-sorted sample vector
+/// (p in [0, 1]); the single implementation shared by the sim-side
+/// LatencyStats and the threaded runtime's wall-clock samples. A
+/// floor-truncated nearest-rank underreports upper percentiles on small
+/// samples (p99 of 100 samples would return sorted[98]); interpolating
+/// between the neighboring ranks does not. Returns 0 when empty.
+template <typename T>
+double InterpolatedPercentile(const std::vector<T>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = lo + 1 < sorted.size() ? lo + 1 : lo;
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+
 /// Latency sample accumulator with average/percentile reporting.
 class LatencyStats {
  public:

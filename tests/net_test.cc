@@ -1,11 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
 #include "net/crc32.h"
+#include "net/fault_transport.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
 #include "net/wire.h"
@@ -464,8 +468,15 @@ TEST(InProcTransportTest, DeliversThroughFullCodec) {
   a->Stop();  // Idempotent.
 }
 
+TcpPortMap MustMakePortMap(const std::vector<int>& group_sizes,
+                           uint16_t base) {
+  auto ports = MakeLocalPortMap(group_sizes, base);
+  EXPECT_TRUE(ports.ok()) << ports.status().ToString();
+  return *ports;
+}
+
 TEST(TcpTransportTest, LoopbackRoundTrip) {
-  TcpPortMap ports = MakeLocalPortMap({2}, /*base=*/19321);
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19321);
   TcpTransport a(NodeId{0, 0}, ports);
   TcpTransport b(NodeId{0, 1}, ports);
   Sink sink_a, sink_b;
@@ -495,7 +506,7 @@ TEST(TcpTransportTest, LoopbackRoundTrip) {
 }
 
 TEST(TcpTransportTest, SendToUnmappedNodeFails) {
-  TcpPortMap ports = MakeLocalPortMap({1}, /*base=*/19331);
+  TcpPortMap ports = MustMakePortMap({1}, /*base=*/19331);
   TcpTransport a(NodeId{0, 0}, ports);
   Sink sink;
   ASSERT_TRUE(a.Start(sink.fn()).ok());
@@ -503,6 +514,293 @@ TEST(TcpTransportTest, SendToUnmappedNodeFails) {
   EXPECT_FALSE(a.Send(NodeId{5, 5}, msg).ok());
   EXPECT_EQ(a.stats().send_errors, 1u);
   a.Stop();
+}
+
+TEST(TcpTransportTest, PortMapRejectsOverflowPast65535) {
+  // 65534 + 2 nodes = ports {65534, 65535}: the last legal assignment.
+  EXPECT_TRUE(MakeLocalPortMap({2}, 65534).ok());
+  // One node more would need port 65536.
+  auto overflow = MakeLocalPortMap({3}, 65534);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.status().IsInvalidArgument());
+  // The old uint16_t arithmetic silently wrapped a large cluster onto
+  // low ports; now it is refused outright.
+  EXPECT_FALSE(MakeLocalPortMap({200, 200}, 65400).ok());
+  EXPECT_FALSE(MakeLocalPortMap({-1}, 1000).ok());
+  // Empty map is fine.
+  EXPECT_TRUE(MakeLocalPortMap({}, 65535).ok());
+}
+
+TEST(TcpTransportTest, SendToDeadPeerNeverBlocks) {
+  // Node {0,1} is mapped but never started: every send must enqueue (or
+  // drop) and return immediately — the old transport dialed synchronously
+  // with retries and blocked the caller for ~2 seconds.
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19441);
+  TcpTransport a(NodeId{0, 0}, ports);
+  Sink sink;
+  ASSERT_TRUE(a.Start(sink.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  for (int i = 0; i < 50; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    ASSERT_TRUE(a.Send(NodeId{0, 1}, msg).ok());
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    // The 10ms liveness budget, with CI scheduling headroom.
+    EXPECT_LT(elapsed, 100.0) << "send " << i << " blocked";
+  }
+  EXPECT_EQ(a.stats().frames_sent, 0u);  // Nothing reached a wire.
+  a.Stop();
+}
+
+TEST(TcpTransportTest, BackpressureDropsWhenQueueFull) {
+  TcpTransport::Options options;
+  options.max_queue_frames = 4;
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19451);
+  TcpTransport a(NodeId{0, 0}, ports, options);
+  Sink sink;
+  ASSERT_TRUE(a.Start(sink.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  int dropped = 0;
+  for (int i = 0; i < 20; ++i)
+    if (!a.Send(NodeId{0, 1}, msg).ok()) ++dropped;
+  EXPECT_GT(dropped, 0);
+  EXPECT_EQ(a.stats().dropped_backpressure, static_cast<uint64_t>(dropped));
+  // Backpressure is not a send error; the counters are distinct.
+  EXPECT_EQ(a.stats().send_errors, 0u);
+  a.Stop();
+}
+
+TEST(TcpTransportTest, ReconnectsAfterPeerRestart) {
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19461);
+  TcpTransport a(NodeId{0, 0}, ports);
+  auto b = std::make_unique<TcpTransport>(NodeId{0, 1}, ports);
+  Sink sink_a, sink_b1;
+  ASSERT_TRUE(a.Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b1.fn()).ok());
+
+  GroupHeartbeatMsg msg(7, 1);
+  ASSERT_TRUE(a.Send(NodeId{0, 1}, msg).ok());
+  ASSERT_TRUE(sink_b1.WaitForCount(1));
+
+  // Kill the peer. Sends during the outage enqueue (or die with the
+  // connection — TCP loss semantics) but never block the caller.
+  b->Stop();
+  b.reset();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(a.Send(NodeId{0, 1}, msg).ok());
+
+  // Restart on the same port. Fresh sends force the writer to discover
+  // the dead connection, redial with backoff, and flow frames again —
+  // that is the liveness contract (loss of in-flight frames is allowed;
+  // the BFT layer owns retries).
+  b = std::make_unique<TcpTransport>(NodeId{0, 1}, ports);
+  Sink sink_b2;
+  ASSERT_TRUE(b->Start(sink_b2.fn()).ok());
+  bool delivered = false;
+  for (int i = 0; i < 200 && !delivered; ++i) {
+    ASSERT_TRUE(a.Send(NodeId{0, 1}, msg).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::lock_guard<std::mutex> lock(sink_b2.mu);
+    delivered = !sink_b2.frames.empty();
+  }
+  EXPECT_TRUE(delivered) << "no frame flowed after peer restart";
+  EXPECT_GE(a.stats().reconnects, 1u);
+  a.Stop();
+  b->Stop();
+}
+
+// ------------------------------------------------------- Fault injection
+
+std::unique_ptr<FaultInjectingTransport> Inject(InProcHub& hub, NodeId self,
+                                                FaultSpec spec) {
+  return std::make_unique<FaultInjectingTransport>(hub.CreateTransport(self),
+                                                   spec);
+}
+
+TEST(FaultTransportTest, DropRateOneDropsEverything) {
+  InProcHub hub;
+  FaultSpec spec;
+  spec.drop_rate = 1.0;
+  auto a = Inject(hub, NodeId{0, 0}, spec);
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  EXPECT_EQ(a->fault_stats().dropped, 10u);
+  EXPECT_EQ(b->stats().frames_received, 0u);
+  EXPECT_EQ(a->stats().frames_sent, 0u);  // Dropped before the inner send.
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, DuplicateRateOneDeliversTwice) {
+  InProcHub hub;
+  FaultSpec spec;
+  spec.duplicate_rate = 1.0;
+  auto a = Inject(hub, NodeId{0, 0}, spec);
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  EXPECT_EQ(a->fault_stats().duplicated, 5u);
+  EXPECT_EQ(b->stats().frames_received, 10u);
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, CorruptionIsCaughtByReceiverCrc) {
+  InProcHub hub;
+  FaultSpec spec;
+  spec.corrupt_rate = 1.0;
+  auto a = Inject(hub, NodeId{0, 0}, spec);
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  // Real mangled bytes went on the wire; the receiver's codec rejected
+  // every frame (one flipped byte always breaks the CRC or the header).
+  EXPECT_EQ(a->fault_stats().corrupted, 10u);
+  EXPECT_EQ(b->stats().decode_errors, 10u);
+  EXPECT_EQ(b->stats().frames_received, 0u);
+  EXPECT_TRUE(sink_b.frames.empty());
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, DelayedFramesArriveLater) {
+  InProcHub hub;
+  FaultSpec spec;
+  spec.delay_rate = 1.0;
+  spec.delay_min_ms = 5.0;
+  spec.delay_max_ms = 15.0;
+  auto a = Inject(hub, NodeId{0, 0}, spec);
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  // Sends return before delivery (they only scheduled the frames).
+  EXPECT_EQ(a->fault_stats().delayed, 4u);
+  ASSERT_TRUE(sink_b.WaitForCount(4));
+  auto elapsed = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 5.0);  // At least the minimum delay.
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, DelayStallsTheLinkButNeverReordersIt) {
+  // The VTS ordering engine infers lower bounds from the assumption that
+  // each channel delivers stamps in non-decreasing order — real TCP's
+  // per-connection FIFO. The injector must honor it: a delayed frame
+  // stalls later frames on the same link instead of being overtaken.
+  InProcHub hub;
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.delay_rate = 0.5;
+  spec.delay_min_ms = 1.0;
+  spec.delay_max_ms = 20.0;
+  auto a = Inject(hub, NodeId{0, 0}, spec);
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  constexpr uint64_t kFrames = 50;
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    GroupHeartbeatMsg msg(0, /*last_seq=*/i);
+    EXPECT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  }
+  ASSERT_TRUE(sink_b.WaitForCount(kFrames));
+  EXPECT_GT(a->fault_stats().delayed, 0u);
+  std::lock_guard<std::mutex> lock(sink_b.mu);
+  for (uint64_t i = 0; i < kFrames; ++i) {
+    auto* hb = static_cast<GroupHeartbeatMsg*>(sink_b.frames[i].msg.get());
+    EXPECT_EQ(hb->last_seq(), i) << "frame overtook a delayed predecessor";
+  }
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, PartitionWindowCutsBothDirectionsThenHeals) {
+  InProcHub hub;
+  FaultSpec spec;
+  FaultSpec::Partition partition;
+  partition.start_s = 0;
+  partition.end_s = 0.25;
+  partition.side_a = {0};  // Group 0 vs everyone else.
+  spec.partitions.push_back(partition);
+
+  auto a = Inject(hub, NodeId{0, 0}, spec);  // Group 0.
+  auto b = Inject(hub, NodeId{1, 0}, spec);  // Group 1.
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 1);
+  EXPECT_TRUE(a->Send(NodeId{1, 0}, msg).ok());
+  EXPECT_TRUE(b->Send(NodeId{0, 0}, msg).ok());
+  EXPECT_EQ(a->fault_stats().partition_dropped +
+                b->fault_stats().partition_dropped,
+            2u);
+  EXPECT_TRUE(sink_a.frames.empty());
+  EXPECT_TRUE(sink_b.frames.empty());
+
+  // After the window the same sends go through (the partition healed).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_TRUE(a->Send(NodeId{1, 0}, msg).ok());
+  EXPECT_TRUE(b->Send(NodeId{0, 0}, msg).ok());
+  ASSERT_TRUE(sink_a.WaitForCount(1));
+  ASSERT_TRUE(sink_b.WaitForCount(1));
+  a->Stop();
+  b->Stop();
+}
+
+TEST(FaultTransportTest, SameSeedSameMessageSequenceSameFaults) {
+  FaultSpec spec;
+  spec.seed = 12345;
+  spec.drop_rate = 0.3;
+  spec.duplicate_rate = 0.2;
+  spec.corrupt_rate = 0.2;
+  GroupHeartbeatMsg msg(1, 1);
+
+  auto run = [&] {
+    InProcHub hub;
+    auto a = Inject(hub, NodeId{0, 0}, spec);
+    auto b = hub.CreateTransport(NodeId{0, 1});
+    Sink sink_a, sink_b;
+    EXPECT_TRUE(a->Start(sink_a.fn()).ok());
+    EXPECT_TRUE(b->Start(sink_b.fn()).ok());
+    for (int i = 0; i < 200; ++i) (void)a->Send(NodeId{0, 1}, msg);
+    FaultStats stats = a->fault_stats();
+    a->Stop();
+    b->Stop();
+    return stats;
+  };
+
+  FaultStats first = run();
+  FaultStats second = run();
+  EXPECT_GT(first.total(), 0u);
+  EXPECT_EQ(first.dropped, second.dropped);
+  EXPECT_EQ(first.duplicated, second.duplicated);
+  EXPECT_EQ(first.corrupted, second.corrupted);
+  EXPECT_EQ(first.delayed, second.delayed);
 }
 
 }  // namespace

@@ -292,7 +292,10 @@ TEST_F(RebuilderTest, BadProofRejected) {
 TEST_F(RebuilderTest, TamperedBucketBannedThenCorrectBucketWins) {
   // Byzantine senders encode a consistently tampered entry: its chunks have
   // valid proofs under the *tampered* root and fill a bucket, but the
-  // rebuilt entry fails certificate validation -> ids banned (IV-C).
+  // rebuilt entry fails certificate validation -> that root is banned
+  // (IV-C). The ban is per-root, never per-chunk-id: the genuine entry's
+  // chunks reuse the very same ids and must still rebuild, else a
+  // Byzantine bucket covering ids 0..n_data-1 would be a liveness attack.
   Bytes tampered_payload = entry_->Encoded();
   tampered_payload[4] ^= 0xFF;
   auto tampered = EncodeBytesForPlan(tampered_payload, *plan_);
@@ -311,21 +314,66 @@ TEST_F(RebuilderTest, TamperedBucketBannedThenCorrectBucketWins) {
   }
   EXPECT_EQ(rebuilder.banned_count(), plan_->n_data());
 
-  // Banned ids are refused even for correct chunks (DoS defense)...
-  EXPECT_EQ(rebuilder.AddChunk(encoded_->merkle_root, 0,
-                               encoded_->chunks[0].data,
-                               encoded_->chunks[0].proof, cert_),
+  // Refills of the proven-fake root are refused in O(1) (DoS defense)...
+  EXPECT_EQ(rebuilder.AddChunk(tampered->merkle_root, 0,
+                               tampered->chunks[0].data,
+                               tampered->chunks[0].proof, cert_),
+            EntryRebuilder::AddResult::kDuplicate);
+  // ...and so is a never-seen chunk id under that root: the ban needs no
+  // proof verification or rebuild attempt.
+  int parity = plan_->n_data();
+  EXPECT_EQ(rebuilder.AddChunk(tampered->merkle_root, parity,
+                               tampered->chunks[parity].data,
+                               tampered->chunks[parity].proof, cert_),
             EntryRebuilder::AddResult::kDuplicate);
 
-  // ...but enough unbanned correct chunks still rebuild the entry
-  // (banned ids <= n_parity by the plan's loss bound).
-  int fed = 0;
-  for (int c = plan_->n_data(); c < plan_->n_total() && !rebuilder.complete();
-       ++c) {
-    rebuilder.AddChunk(encoded_->merkle_root, c, encoded_->chunks[c].data,
-                       encoded_->chunks[c].proof, cert_);
-    ++fed;
+  // The genuine chunks with the SAME ids 0..n_data-1 are a different root
+  // — a different candidate entry — and rebuild normally. (The pre-fix
+  // global chunk-id ban returned kDuplicate here and lost the entry.)
+  for (int c = 0; c < plan_->n_data(); ++c) {
+    auto result = rebuilder.AddChunk(encoded_->merkle_root, c,
+                                     encoded_->chunks[c].data,
+                                     encoded_->chunks[c].proof, cert_);
+    if (c < plan_->n_data() - 1)
+      EXPECT_EQ(result, EntryRebuilder::AddResult::kPending);
+    else
+      EXPECT_EQ(result, EntryRebuilder::AddResult::kRebuilt);
   }
+  ASSERT_TRUE(rebuilder.complete());
+  EXPECT_EQ(rebuilder.entry()->digest(), entry_->digest());
+}
+
+TEST_F(RebuilderTest, RepeatedFakeRootsEachCostOneRebuildOnly) {
+  // An attacker can force at most one failed rebuild per fresh fake root
+  // (each needs n_data valid proofs under a new root); refills of an
+  // already-banned root never reach verification.
+  EntryRebuilder rebuilder = MakeRebuilder();
+  for (int variant = 0; variant < 3; ++variant) {
+    Bytes tampered_payload = entry_->Encoded();
+    tampered_payload[8] ^= static_cast<uint8_t>(variant + 1);
+    auto tampered = EncodeBytesForPlan(tampered_payload, *plan_);
+    ASSERT_TRUE(tampered.ok());
+    for (int c = 0; c < plan_->n_data(); ++c) {
+      auto result = rebuilder.AddChunk(tampered->merkle_root, c,
+                                       tampered->chunks[c].data,
+                                       tampered->chunks[c].proof, cert_);
+      if (c == plan_->n_data() - 1) {
+        EXPECT_EQ(result, EntryRebuilder::AddResult::kBucketFake);
+      }
+    }
+    // Every later touch of the banned root is O(1) kDuplicate.
+    EXPECT_EQ(rebuilder.AddChunk(tampered->merkle_root, 0,
+                                 tampered->chunks[0].data,
+                                 tampered->chunks[0].proof, cert_),
+              EntryRebuilder::AddResult::kDuplicate);
+  }
+  EXPECT_EQ(rebuilder.banned_count(), 3 * plan_->n_data());
+
+  // The genuine entry still goes through after all that noise.
+  for (int c = 0; c < plan_->n_data(); ++c)
+    (void)rebuilder.AddChunk(encoded_->merkle_root, c,
+                             encoded_->chunks[c].data,
+                             encoded_->chunks[c].proof, cert_);
   ASSERT_TRUE(rebuilder.complete());
   EXPECT_EQ(rebuilder.entry()->digest(), entry_->digest());
 }
