@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "core/bench_baseline.h"
 #include "obs/json_writer.h"
 
 namespace massbft {
@@ -25,6 +26,12 @@ const BenchOptions& GlobalOptions() { return g_options; }
 
 BenchOptions BenchOptions::Parse(int argc, char** argv) {
   BenchOptions opts;
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string program = argv[0];
+    size_t slash = program.find_last_of('/');
+    opts.bench_name =
+        slash == std::string::npos ? program : program.substr(slash + 1);
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0) opts.csv = true;
     if (std::strcmp(argv[i], "--fast") == 0) opts.fast = true;
@@ -32,6 +39,8 @@ BenchOptions BenchOptions::Parse(int argc, char** argv) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0) opts.trace_file = argv[i] + 8;
     if (std::strcmp(argv[i], "--json") == 0) opts.json_file = "bench_results.json";
     if (std::strncmp(argv[i], "--json=", 7) == 0) opts.json_file = argv[i] + 7;
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0)
+      opts.baseline_file = argv[i] + 11;
     if (std::strncmp(argv[i], "--repeat=", 9) == 0)
       opts.repeat = std::max(1, std::atoi(argv[i] + 9));
   }
@@ -113,6 +122,16 @@ ExperimentResult RunOnce(ExperimentConfig config) {
     Status written = experiment.WriteTrace(g_options.trace_file);
     if (!written.ok()) {
       MASSBFT_LOG(kWarn) << "trace export failed: " << written.ToString();
+    }
+  }
+  if (!g_options.baseline_file.empty()) {
+    // Rewritten per run: the file always holds the latest completed run's
+    // baseline even if the bench is interrupted mid-sweep.
+    Status written = WriteBenchBaselineFile(
+        g_options.baseline_file,
+        g_options.bench_name.empty() ? "bench" : g_options.bench_name, result);
+    if (!written.ok()) {
+      MASSBFT_LOG(kWarn) << "baseline export failed: " << written.ToString();
     }
   }
   if (!g_options.json_file.empty()) {

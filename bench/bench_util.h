@@ -30,6 +30,12 @@ struct BenchOptions {
   /// across repeats. Simulated results are seed-deterministic, so only the
   /// host-timing fields vary; the returned result carries the means.
   int repeat = 1;
+  /// --baseline=FILE: after every run, rewrite FILE as a schema-versioned
+  /// perf-baseline document (core/bench_baseline.h) for the last result —
+  /// the same format as the checked-in BENCH_*.json trajectory files.
+  std::string baseline_file;
+  /// Bench name stamped into baseline documents (basename of argv[0]).
+  std::string bench_name;
 
   static BenchOptions Parse(int argc, char** argv);
 };

@@ -8,7 +8,18 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/real_cluster [--tcp] [--seconds N] [--clients N]
-//                                 [--faults PRESET]
+//                                 [--faults PRESET] [--trace=FILE]
+//                                 [--stats-port=P] [--bench-out=FILE]
+//
+// Observability (DESIGN.md §14):
+//   --trace=FILE      merged cluster-wide Chrome trace (one process per
+//                     node, cross-node flow arrows; open in Perfetto)
+//   --stats-port=P    localhost stats server for the whole run: /metrics
+//                     (Prometheus text) and /health (JSON). P=0 picks an
+//                     ephemeral port (printed at startup).
+//   --bench-out=FILE  schema-versioned perf-baseline JSON of the run
+//                     (compare against the checked-in BENCH_real_cluster
+//                     .json trajectory)
 //
 // Fault presets (paper Section VI-E style failure experiments):
 //   none           no faults (default)
@@ -24,6 +35,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/bench_baseline.h"
 #include "core/config.h"
 #include "runtime/cluster.h"
 
@@ -81,6 +93,7 @@ int main(int argc, char** argv) {
   config.seed = 42;
 
   std::string preset = "none";
+  std::string bench_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tcp") == 0) config.use_tcp = true;
     if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
@@ -89,6 +102,12 @@ int main(int argc, char** argv) {
       config.clients_per_group = std::stoi(argv[++i]);
     if (std::strcmp(argv[i], "--faults") == 0 && i + 1 < argc)
       preset = argv[++i];
+    if (std::strncmp(argv[i], "--trace=", 8) == 0)
+      config.trace_path = argv[i] + 8;
+    if (std::strncmp(argv[i], "--stats-port=", 13) == 0)
+      config.stats_port = std::stoi(argv[i] + 13);
+    if (std::strncmp(argv[i], "--bench-out=", 12) == 0)
+      bench_out = argv[i] + 12;
   }
 
   // The preset's fault offsets scale with the (possibly overridden)
@@ -111,11 +130,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "setup failed: %s\n", setup.ToString().c_str());
     return 1;
   }
+  if (config.stats_port >= 0) {
+    std::printf("stats: http://127.0.0.1:%u/metrics and /health\n",
+                static_cast<unsigned>(cluster.stats_port()));
+    std::fflush(stdout);
+  }
   auto result = cluster.Run();
   if (!result.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
+  }
+  if (!config.trace_path.empty())
+    std::printf("merged trace written to %s\n", config.trace_path.c_str());
+  if (!bench_out.empty()) {
+    Status written =
+        WriteBenchBaselineFile(bench_out, "real_cluster", *result);
+    if (!written.ok()) {
+      std::fprintf(stderr, "baseline export failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("perf baseline written to %s\n", bench_out.c_str());
   }
 
   std::printf("%s\n", result->ToJson().c_str());

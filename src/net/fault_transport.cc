@@ -16,6 +16,7 @@ FaultInjectingTransport::~FaultInjectingTransport() { Stop(); }
 void FaultInjectingTransport::BindTelemetry(obs::Telemetry* telemetry) {
   inner_->BindTelemetry(telemetry);
   if (telemetry == nullptr) return;
+  telemetry_ = telemetry;
   obs::MetricsRegistry& registry = telemetry->registry();
   dropped_counter_ = registry.GetCounter("faults/dropped");
   duplicated_counter_ = registry.GetCounter("faults/duplicated");
@@ -47,6 +48,8 @@ Status FaultInjectingTransport::Start(DeliverFn deliver) {
       if (PartitionedLocked(frame.src, inner_->self())) {
         fault_stats_.partition_dropped++;
         if (partition_counter_ != nullptr) partition_counter_->Add();
+        RecordFaultEvent("partition_dropped",
+                         static_cast<double>(frame.src.Packed()), 0);
         return;
       }
     }
@@ -102,24 +105,30 @@ Status FaultInjectingTransport::Send(NodeId dst, const ProtocolMessage& msg) {
       action = Action::kPartition;
       fault_stats_.partition_dropped++;
       if (partition_counter_ != nullptr) partition_counter_->Add();
+      RecordFaultEvent("partition_dropped", static_cast<double>(dst.Packed()),
+                       0);
     } else if (rng_.NextBool(spec_.drop_rate)) {
       action = Action::kDrop;
       fault_stats_.dropped++;
       if (dropped_counter_ != nullptr) dropped_counter_->Add();
+      RecordFaultEvent("dropped", static_cast<double>(dst.Packed()), 0);
     } else if (rng_.NextBool(spec_.corrupt_rate)) {
       action = Action::kCorrupt;
       fault_stats_.corrupted++;
       if (corrupted_counter_ != nullptr) corrupted_counter_->Add();
+      RecordFaultEvent("corrupted", static_cast<double>(dst.Packed()), 0);
     } else if (rng_.NextBool(spec_.duplicate_rate)) {
       action = Action::kDuplicate;
       fault_stats_.duplicated++;
       if (duplicated_counter_ != nullptr) duplicated_counter_->Add();
+      RecordFaultEvent("duplicated", static_cast<double>(dst.Packed()), 0);
     } else if (rng_.NextBool(spec_.delay_rate)) {
       action = Action::kDelay;
       fault_stats_.delayed++;
       if (delayed_counter_ != nullptr) delayed_counter_->Add();
       delay_ms = spec_.delay_min_ms +
                  rng_.NextDouble() * (spec_.delay_max_ms - spec_.delay_min_ms);
+      RecordFaultEvent("delayed", static_cast<double>(dst.Packed()), delay_ms);
     }
   }
 
@@ -210,6 +219,19 @@ void FaultInjectingTransport::TimerLoop() {
       link_pending_.erase(pending);
       link_release_.erase(frame.dst.Packed());
     }
+  }
+}
+
+void FaultInjectingTransport::RecordFaultEvent(const char* name, double peer,
+                                               double detail) {
+  if (telemetry_ == nullptr) return;
+  const SimTime now = telemetry_->TraceNowNs();
+  telemetry_->flight().Record(static_cast<uint64_t>(now), "fault", name, peer,
+                              detail);
+  if (telemetry_->tracing()) {
+    telemetry_->trace().RecordInstant(
+        obs::Telemetry::NodeTrack(inner_->self().Packed()), "fault", name, now,
+        obs::TraceArgs{{{"peer", peer}, {"detail", detail}}});
   }
 }
 

@@ -18,6 +18,7 @@ namespace massbft {
 
 namespace obs {
 class Counter;
+class Telemetry;
 }  // namespace obs
 
 /// Fault schedule for one node's transport (paper Section VI-E-style
@@ -122,6 +123,9 @@ class FaultInjectingTransport : public Transport {
   /// clear and no delay was drawn.
   [[nodiscard]] Status ForwardFifo(NodeId dst, Bytes wire, double delay_ms);
   void TimerLoop();
+  /// Records one injected fault in the owning node's flight recorder and
+  /// (when tracing) as a trace instant on its track.
+  void RecordFaultEvent(const char* name, double peer, double detail);
 
   std::unique_ptr<Transport> inner_;
   FaultSpec spec_;
@@ -147,6 +151,7 @@ class FaultInjectingTransport : public Transport {
   std::thread timer_thread_;
 
   // Pre-resolved observability handles (null when unwired).
+  obs::Telemetry* telemetry_ = nullptr;
   obs::Counter* dropped_counter_ = nullptr;
   obs::Counter* duplicated_counter_ = nullptr;
   obs::Counter* corrupted_counter_ = nullptr;

@@ -74,6 +74,7 @@ TcpTransport::~TcpTransport() { Stop(); }
 
 void TcpTransport::BindTelemetry(obs::Telemetry* telemetry) {
   if (telemetry == nullptr) return;
+  telemetry_ = telemetry;
   obs::MetricsRegistry& registry = telemetry->registry();
   queue_depth_gauge_ = registry.GetGauge("net/queue_depth");
   reconnects_counter_ = registry.GetCounter("net/reconnects");
@@ -171,6 +172,8 @@ Status TcpTransport::SendEncoded(NodeId dst, Bytes wire) {
       peer.queued_bytes + wire.size() > options_.max_queue_bytes) {
     stats_.dropped_backpressure++;
     if (backpressure_counter_ != nullptr) backpressure_counter_->Add();
+    RecordNetEvent("backpressure_drop", static_cast<double>(dst.Packed()),
+                   static_cast<double>(wire.size()));
     return Status::Unavailable("send queue full (backpressure drop)");
   }
   peer.queued_bytes += wire.size();
@@ -183,8 +186,24 @@ Status TcpTransport::SendEncoded(NodeId dst, Bytes wire) {
 
 TcpTransport::Peer& TcpTransport::PeerLocked(uint32_t dst_packed) {
   auto& slot = peers_[dst_packed];
-  if (!slot) slot = std::make_unique<Peer>();
+  if (!slot) {
+    slot = std::make_unique<Peer>();
+    slot->packed = dst_packed;
+  }
   return *slot;
+}
+
+void TcpTransport::RecordNetEvent(const char* name, double peer,
+                                  double detail) {
+  if (telemetry_ == nullptr) return;
+  const SimTime now = telemetry_->TraceNowNs();
+  telemetry_->flight().Record(static_cast<uint64_t>(now), "net", name, peer,
+                              detail);
+  if (telemetry_->tracing()) {
+    telemetry_->trace().RecordInstant(
+        obs::Telemetry::NodeTrack(self_.Packed()), "net", name, now,
+        obs::TraceArgs{{{"peer", peer}, {"detail", detail}}});
+  }
 }
 
 void TcpTransport::WakeWriter() {
@@ -242,6 +261,7 @@ void TcpTransport::OnConnectedLocked(Peer& peer) {
   if (peer.ever_connected) {
     stats_.reconnects++;
     if (reconnects_counter_ != nullptr) reconnects_counter_->Add();
+    RecordNetEvent("reconnect", static_cast<double>(peer.packed), 0);
   }
   peer.ever_connected = true;
   FlushLocked(peer);
@@ -269,6 +289,9 @@ void TcpTransport::DisconnectLocked(Peer& peer) {
   peer.next_dial =
       Clock::now() + std::chrono::microseconds(static_cast<int64_t>(
                          1000.0 * jitter * peer.backoff_ms));
+  if (peer.ever_connected)
+    RecordNetEvent("disconnect", static_cast<double>(peer.packed),
+                   static_cast<double>(peer.backoff_ms));
 }
 
 void TcpTransport::FlushLocked(Peer& peer) {

@@ -19,6 +19,7 @@ namespace massbft {
 namespace obs {
 class Counter;
 class Gauge;
+class Telemetry;
 }  // namespace obs
 
 /// Maps every node to its TCP listen port on 127.0.0.1.
@@ -97,6 +98,7 @@ class TcpTransport : public Transport {
   struct Peer {
     enum class State { kIdle, kConnecting, kConnected };
     State state = State::kIdle;
+    uint32_t packed = 0;  // Destination NodeId::Packed (for diagnostics).
     int fd = -1;
     std::deque<Bytes> queue;
     size_t queued_bytes = 0;
@@ -122,6 +124,10 @@ class TcpTransport : public Transport {
   void FlushLocked(Peer& peer);
   void UpdateQueueGaugeLocked();
   void WakeWriter();
+  /// Records a connection-lifecycle event in the owning node's flight
+  /// recorder and (when tracing) as a trace instant on its track, so
+  /// reconnects and drops line up with protocol spans in the merged trace.
+  void RecordNetEvent(const char* name, double peer, double detail);
 
   NodeId self_;
   TcpPortMap ports_;
@@ -136,6 +142,7 @@ class TcpTransport : public Transport {
   Rng jitter_rng_;
 
   // Pre-resolved observability handles (null when unwired).
+  obs::Telemetry* telemetry_ = nullptr;
   obs::Gauge* queue_depth_gauge_ = nullptr;
   obs::Counter* reconnects_counter_ = nullptr;
   obs::Counter* backpressure_counter_ = nullptr;

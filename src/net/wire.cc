@@ -2,24 +2,58 @@
 
 #include "common/codec.h"
 #include "net/crc32.h"
+#include "obs/trace_clock.h"
 
 namespace massbft {
 
+namespace {
+
+/// Bytes covered by the CRC before the (optional) trace context and body:
+/// version..body_len, i.e. [4, kFrameHeaderBytes - 4).
+constexpr size_t kCrcHeaderSpan = kFrameHeaderBytes - 4 - 4;
+
+}  // namespace
+
 Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src) {
+  return EncodeFrame(msg, src,
+                     CarriesTraceContext(msg.message_type())
+                         ? obs::TraceClock::NowNs()
+                         : 0);
+}
+
+Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src,
+                  uint64_t origin_ts_ns) {
   BinaryWriter body;
   msg.EncodeBodyTo(&body);
 
-  BinaryWriter w(kFrameHeaderBytes + body.size());
+  TraceContext ctx;
+  const bool has_trace = msg.TraceKey(&ctx.gid, &ctx.seq);
+  ctx.origin = src.Packed();
+  ctx.origin_ts_ns = origin_ts_ns;
+
+  BinaryWriter w(kFrameHeaderBytes + (has_trace ? kTraceContextBytes : 0) +
+                 body.size());
   w.PutU32(kWireMagic);
   w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(msg.message_type()));
+  w.PutU8(has_trace ? kFrameFlagTraceContext : 0);
   w.PutU32(src.Packed());
   w.PutU32(static_cast<uint32_t>(body.size()));
 
+  BinaryWriter trace;
+  if (has_trace) {
+    trace.PutU16(ctx.gid);
+    trace.PutU64(ctx.seq);
+    trace.PutU32(ctx.origin);
+    trace.PutU64(ctx.origin_ts_ns);
+  }
+
   Crc32 crc;
-  crc.Update(w.buffer().data() + 4, 10);  // version..body_len
+  crc.Update(w.buffer().data() + 4, kCrcHeaderSpan);  // version..body_len
+  crc.Update(trace.buffer());
   crc.Update(body.buffer());
   w.PutU32(crc.Finish());
+  w.PutRaw(trace.buffer().data(), trace.size());
   w.PutRaw(body.buffer().data(), body.size());
   return w.Release();
 }
@@ -31,19 +65,25 @@ Result<size_t> PeekFrameLength(const uint8_t* data, size_t len) {
   uint32_t magic = 0;
   uint8_t version = 0;
   uint8_t type = 0;
+  uint8_t flags = 0;
   uint32_t src = 0;
   uint32_t body_len = 0;
   MASSBFT_RETURN_IF_ERROR(r.GetU32(&magic));
   MASSBFT_RETURN_IF_ERROR(r.GetU8(&version));
   MASSBFT_RETURN_IF_ERROR(r.GetU8(&type));
+  MASSBFT_RETURN_IF_ERROR(r.GetU8(&flags));
   MASSBFT_RETURN_IF_ERROR(r.GetU32(&src));
   MASSBFT_RETURN_IF_ERROR(r.GetU32(&body_len));
   if (magic != kWireMagic) return Status::Corruption("bad frame magic");
   if (version != kWireVersion)
     return Status::Corruption("unsupported wire version");
+  if ((flags & ~kFrameFlagTraceContext) != 0)
+    return Status::Corruption("unknown frame flags");
   if (body_len > kMaxBodyBytes)
     return Status::Corruption("frame body length over cap");
-  return kFrameHeaderBytes + static_cast<size_t>(body_len);
+  const size_t trace_len =
+      (flags & kFrameFlagTraceContext) != 0 ? kTraceContextBytes : 0;
+  return kFrameHeaderBytes + trace_len + static_cast<size_t>(body_len);
 }
 
 Result<Frame> DecodeFrame(const uint8_t* data, size_t len) {
@@ -55,27 +95,50 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t len) {
   uint32_t magic = 0;
   uint8_t version = 0;
   uint8_t type = 0;
+  uint8_t flags = 0;
   uint32_t src_packed = 0;
   uint32_t body_len = 0;
   uint32_t claimed_crc = 0;
   MASSBFT_RETURN_IF_ERROR(header.GetU32(&magic));
   MASSBFT_RETURN_IF_ERROR(header.GetU8(&version));
   MASSBFT_RETURN_IF_ERROR(header.GetU8(&type));
+  MASSBFT_RETURN_IF_ERROR(header.GetU8(&flags));
   MASSBFT_RETURN_IF_ERROR(header.GetU32(&src_packed));
   MASSBFT_RETURN_IF_ERROR(header.GetU32(&body_len));
   MASSBFT_RETURN_IF_ERROR(header.GetU32(&claimed_crc));
 
+  const bool has_trace = (flags & kFrameFlagTraceContext) != 0;
+  const size_t trace_len = has_trace ? kTraceContextBytes : 0;
+
   Crc32 crc;
-  crc.Update(data + 4, 10);
-  crc.Update(data + kFrameHeaderBytes, body_len);
+  crc.Update(data + 4, kCrcHeaderSpan);
+  crc.Update(data + kFrameHeaderBytes, trace_len + body_len);
   if (crc.Finish() != claimed_crc)
     return Status::Corruption("frame CRC mismatch");
 
-  BinaryReader body(data + kFrameHeaderBytes, body_len);
+  // The trace flag is a function of the message type, not a choice: a
+  // mismatch means a corrupted or hand-rolled frame whose size accounting
+  // would diverge from the simulator's.
+  if (has_trace != CarriesTraceContext(static_cast<MessageType>(type)))
+    return Status::Corruption("trace context flag mismatches message type");
+
+  Frame frame;
+  frame.has_trace = has_trace;
+  if (has_trace) {
+    BinaryReader tr(data + kFrameHeaderBytes, kTraceContextBytes);
+    MASSBFT_RETURN_IF_ERROR(tr.GetU16(&frame.trace.gid));
+    MASSBFT_RETURN_IF_ERROR(tr.GetU64(&frame.trace.seq));
+    MASSBFT_RETURN_IF_ERROR(tr.GetU32(&frame.trace.origin));
+    MASSBFT_RETURN_IF_ERROR(tr.GetU64(&frame.trace.origin_ts_ns));
+  }
+
+  BinaryReader body(data + kFrameHeaderBytes + trace_len, body_len);
   MASSBFT_ASSIGN_OR_RETURN(
       std::unique_ptr<ProtocolMessage> msg,
       DecodeMessageBody(static_cast<MessageType>(type), &body));
-  return Frame{NodeId::FromPacked(src_packed), std::move(msg)};
+  frame.src = NodeId::FromPacked(src_packed);
+  frame.msg = std::move(msg);
+  return frame;
 }
 
 Result<Frame> DecodeFrame(const Bytes& buf) {

@@ -1,0 +1,70 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace massbft {
+namespace obs {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::Record(uint64_t t_ns, const char* category,
+                            const char* name, double a, double b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlightEvent event{t_ns, category, name, a, b};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<size_t>(count_ % capacity_)] = event;
+  }
+  ++count_;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FlightEvent> out;
+  out.reserve(ring_.size());
+  if (count_ <= capacity_) {
+    out = ring_;
+  } else {
+    // The slot about to be overwritten next is the oldest retained event.
+    const size_t start = static_cast<size_t>(count_ % capacity_);
+    for (size_t i = 0; i < capacity_; ++i)
+      out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void FlightRecorder::Dump(std::ostream& out, const std::string& owner) const {
+  const std::vector<FlightEvent> events = Snapshot();
+  uint64_t total;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = count_;
+  }
+  out << "--- flight recorder " << owner << ": kept " << events.size()
+      << " of " << total << " events ---\n";
+  char line[160];
+  for (const FlightEvent& event : events) {
+    std::snprintf(line, sizeof(line), "  [%10.3f ms] %s/%s a=%g b=%g\n",
+                  static_cast<double>(event.t_ns) / 1e6, event.category,
+                  event.name, event.a, event.b);
+    out << line;
+  }
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  count_ = 0;
+}
+
+}  // namespace obs
+}  // namespace massbft

@@ -124,5 +124,26 @@ void MetricsRegistry::WriteJson(JsonWriter& writer) const {
   writer.EndObject();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats stats;
+    stats.count = h->count();
+    stats.sum = h->sum();
+    stats.min = h->min();
+    stats.max = h->max();
+    stats.mean = h->mean();
+    stats.p50 = h->Percentile(0.5);
+    stats.p99 = h->Percentile(0.99);
+    snap.histograms.emplace_back(name, stats);
+  }
+  return snap;
+}
+
 }  // namespace obs
 }  // namespace massbft

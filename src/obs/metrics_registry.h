@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json_writer.h"
@@ -79,6 +80,27 @@ class Histogram {
   bool enabled_ = true;
 };
 
+/// Summary statistics of one histogram at a point in time.
+struct HistogramStats {
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+};
+
+/// Point-in-time copy of a registry's series, sorted by name. Plain data:
+/// safe to move across threads, which is how the StatsServer reads node
+/// registries (each node snapshots its own registry on its loop thread
+/// and hands the copy out by value).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramStats>> histograms;
+};
+
 /// Process-local registry of named series. Lookup happens once, at wiring
 /// time (`GetCounter` etc. return stable pointers for the registry's
 /// lifetime); the instruments themselves are branch-plus-add cheap.
@@ -112,6 +134,11 @@ class MetricsRegistry {
   /// per-histogram count/sum/min/max/mean/p50/p99. Deterministic order
   /// (sorted by name).
   void WriteJson(JsonWriter& writer) const;
+
+  /// Point-in-time copy of every series, sorted by name. Must be called
+  /// on the thread that owns the registry (in real mode: via the node's
+  /// Call seam); the returned value is then free to cross threads.
+  MetricsSnapshot Snapshot() const;
 
  private:
   bool enabled_ = true;

@@ -1,0 +1,97 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+
+namespace massbft {
+namespace obs {
+
+namespace {
+
+/// Shortest decimal form that round-trips the double exactly (so scrapes
+/// are both readable and lossless). Deterministic for fixed input.
+std::string FormatValue(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void WriteSample(std::ostream& out, const std::string& metric,
+                 const std::string& suffix, const std::string& labels,
+                 const std::string& extra_label, const std::string& value) {
+  out << metric << suffix;
+  if (!labels.empty() || !extra_label.empty()) {
+    out << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) out << ',';
+    out << extra_label << '}';
+  }
+  out << ' ' << value << '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& series) {
+  std::string out = "massbft_";
+  out.reserve(out.size() + series.size());
+  for (char c : series) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void WritePrometheusText(const std::vector<LabeledSnapshot>& snapshots,
+                         std::ostream& out) {
+  // Group samples per metric so each # TYPE header is emitted once even
+  // when many nodes expose the same series. std::map keeps the exposition
+  // alphabetical and therefore stable across runs.
+  std::map<std::string, std::vector<std::pair<const std::string*, uint64_t>>>
+      counters;
+  std::map<std::string, std::vector<std::pair<const std::string*, double>>>
+      gauges;
+  std::map<std::string,
+           std::vector<std::pair<const std::string*, const HistogramStats*>>>
+      summaries;
+  for (const LabeledSnapshot& snap : snapshots) {
+    for (const auto& [name, value] : snap.snapshot.counters)
+      counters[PrometheusName(name)].emplace_back(&snap.labels, value);
+    for (const auto& [name, value] : snap.snapshot.gauges)
+      gauges[PrometheusName(name)].emplace_back(&snap.labels, value);
+    for (const auto& [name, stats] : snap.snapshot.histograms)
+      summaries[PrometheusName(name)].emplace_back(&snap.labels, &stats);
+  }
+
+  for (const auto& [metric, samples] : counters) {
+    out << "# TYPE " << metric << " counter\n";
+    for (const auto& [labels, value] : samples)
+      WriteSample(out, metric, "", *labels, "", std::to_string(value));
+  }
+  for (const auto& [metric, samples] : gauges) {
+    out << "# TYPE " << metric << " gauge\n";
+    for (const auto& [labels, value] : samples)
+      WriteSample(out, metric, "", *labels, "", FormatValue(value));
+  }
+  for (const auto& [metric, samples] : summaries) {
+    out << "# TYPE " << metric << " summary\n";
+    for (const auto& [labels, stats] : samples) {
+      WriteSample(out, metric, "", *labels, "quantile=\"0.5\"",
+                  FormatValue(stats->p50));
+      WriteSample(out, metric, "", *labels, "quantile=\"0.99\"",
+                  FormatValue(stats->p99));
+      WriteSample(out, metric, "_sum", *labels, "", FormatValue(stats->sum));
+      WriteSample(out, metric, "_count", *labels, "",
+                  std::to_string(stats->count));
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace massbft

@@ -1,0 +1,39 @@
+#ifndef MASSBFT_OBS_PROMETHEUS_H_
+#define MASSBFT_OBS_PROMETHEUS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace massbft {
+namespace obs {
+
+/// One node's metrics snapshot plus the label set identifying it in the
+/// exposition, e.g. `node="g0n1"`. The label string is emitted verbatim
+/// inside `{...}` (values must already be quoted/escaped); empty means
+/// no identifying labels.
+struct LabeledSnapshot {
+  std::string labels;
+  MetricsSnapshot snapshot;
+};
+
+/// Maps a '/'-separated series name to a legal Prometheus metric name:
+/// "net/wan_bytes_sent" -> "massbft_net_wan_bytes_sent". Characters
+/// outside [a-zA-Z0-9_] become '_'.
+std::string PrometheusName(const std::string& series);
+
+/// Renders snapshots in the Prometheus text exposition format (version
+/// 0.0.4). Series are grouped by metric name across all snapshots so each
+/// `# TYPE` line appears exactly once; within a metric, samples keep the
+/// snapshot order. Counters expose as `counter`, gauges as `gauge`,
+/// histograms as `summary` (quantile 0.5/0.99 + _sum + _count).
+/// Output is deterministic for fixed input.
+void WritePrometheusText(const std::vector<LabeledSnapshot>& snapshots,
+                         std::ostream& out);
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_PROMETHEUS_H_

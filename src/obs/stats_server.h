@@ -1,0 +1,76 @@
+#ifndef MASSBFT_OBS_STATS_SERVER_H_
+#define MASSBFT_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace massbft {
+namespace obs {
+
+/// Minimal localhost-only HTTP/1.0 endpoint for live introspection
+/// (DESIGN.md §14). One background thread accepts loopback connections,
+/// serves a registered handler per exact path (e.g. "/metrics" in
+/// Prometheus text exposition format, "/health" as JSON), and closes the
+/// connection. Not a general web server: requests are GET-only, bodies
+/// are ignored, one request per connection, one request at a time.
+///
+/// Handlers run on the server thread while the cluster is live, so they
+/// must do their own cross-thread synchronization (RealCluster snapshots
+/// node registries through each node's Call seam).
+///
+/// This is (with TraceClock) one of the two obs components allowed to
+/// touch the wall clock / OS scheduling by lint DIR_POLICY: it blocks in
+/// poll() with real timeouts by design.
+class StatsServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Called with the request path (no query string splitting; exact match
+  /// routed before invocation).
+  using Handler = std::function<Response()>;
+
+  StatsServer() = default;
+  ~StatsServer();
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// Registers the handler serving `path` (exact match, must start with
+  /// '/'). All registrations must happen before Start().
+  void RegisterHandler(const std::string& path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, see port()) and
+  /// starts the serving thread.
+  [[nodiscard]] Status Start(uint16_t port);
+
+  /// The bound port while running, 0 otherwise.
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Stops the serving thread and closes the listening socket. Idempotent;
+  /// also called by the destructor.
+  void Stop();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_STATS_SERVER_H_

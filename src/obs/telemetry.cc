@@ -1,5 +1,7 @@
 #include "obs/telemetry.h"
 
+#include "obs/trace_clock.h"
+
 namespace massbft {
 namespace obs {
 
@@ -26,6 +28,12 @@ Telemetry::Telemetry() {
     phase_hist_[static_cast<size_t>(i)] = registry_.GetHistogram(
         std::string("phase/") + PhaseName(static_cast<Phase>(i)) + "_ms");
   }
+}
+
+SimTime Telemetry::TraceNowNs() const {
+  const uint64_t now = TraceClock::NowNs();
+  const uint64_t anchor = trace_anchor_ns();
+  return static_cast<SimTime>(now > anchor ? now - anchor : 0);
 }
 
 void Telemetry::RecordPhaseSpan(Phase phase, uint32_t track, SimTime start,

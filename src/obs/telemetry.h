@@ -2,9 +2,11 @@
 #define MASSBFT_OBS_TELEMETRY_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "sim/time.h"
@@ -49,6 +51,26 @@ class Telemetry {
   bool tracing() const { return trace_.enabled(); }
   void set_tracing(bool enabled) { trace_.set_enabled(enabled); }
 
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
+  /// Offset of this telemetry's timebase from the process trace epoch
+  /// (TraceClock), in nanoseconds. Zero in sim mode (one shared timebase);
+  /// in real mode each NodeRuntime sets it at first Start so the
+  /// ClusterTraceMerger can shift per-node events onto one axis.
+  uint64_t trace_anchor_ns() const {
+    return trace_anchor_ns_.load(std::memory_order_relaxed);
+  }
+  void set_trace_anchor_ns(uint64_t ns) {
+    trace_anchor_ns_.store(ns, std::memory_order_relaxed);
+  }
+
+  /// Current time on this telemetry's timebase: TraceClock::NowNs() minus
+  /// the anchor. For real-mode threads (transport internals) that record
+  /// events but have no access to the owning node's virtual clock.
+  /// Deterministic sim code must use the simulator clock instead.
+  SimTime TraceNowNs() const;
+
   /// Records one phase span: adds its duration to the phase histogram
   /// (milliseconds) and, when tracing, emits a trace span on `track`
   /// annotated with the entry key.
@@ -78,6 +100,10 @@ class Telemetry {
  private:
   MetricsRegistry registry_;
   TraceRecorder trace_;
+  FlightRecorder flight_;
+  // Atomic: set by the node's loop at first Start, read by transport
+  // threads stamping events on the node's timebase.
+  std::atomic<uint64_t> trace_anchor_ns_{0};
   std::array<Histogram*, kNumPhases> phase_hist_{};
 };
 

@@ -1,0 +1,43 @@
+#include "obs/trace_clock.h"
+
+#include <chrono>
+
+namespace massbft {
+namespace obs {
+
+namespace {
+
+struct Anchor {
+  std::chrono::steady_clock::time_point epoch;
+  uint64_t unix_ns;
+};
+
+/// Captured once per process (thread-safe magic static): a steady-clock
+/// epoch every node measures against, plus the wall-clock time it
+/// corresponds to.
+const Anchor& ProcessAnchor() {
+  static const Anchor anchor = [] {
+    Anchor a;
+    a.epoch = std::chrono::steady_clock::now();
+    a.unix_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return a;
+  }();
+  return anchor;
+}
+
+}  // namespace
+
+uint64_t TraceClock::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - ProcessAnchor().epoch)
+          .count());
+}
+
+uint64_t TraceClock::UnixAnchorNs() { return ProcessAnchor().unix_ns; }
+
+}  // namespace obs
+}  // namespace massbft

@@ -1,0 +1,44 @@
+#ifndef MASSBFT_OBS_TRACE_CLOCK_H_
+#define MASSBFT_OBS_TRACE_CLOCK_H_
+
+#include <cstdint>
+
+namespace massbft {
+namespace obs {
+
+/// Process-wide wall-clock anchor for real-mode traces (DESIGN.md §14).
+///
+/// The threaded runtime gives every node a private virtual clock (ns since
+/// that node's own start), so two nodes' trace timestamps are not directly
+/// comparable. TraceClock provides the common reference that makes them
+/// comparable: a single monotonic epoch captured once per process, plus the
+/// wall-clock (unix) time of that epoch for absolute labeling.
+///
+///  * NowNs() — monotonic nanoseconds since the process trace epoch. All
+///    nodes of an in-process cluster share it, so cross-node send/receive
+///    stamps in wire trace contexts order correctly without clock-sync
+///    machinery.
+///  * Each NodeRuntime records its own epoch as an offset from the process
+///    epoch; the ClusterTraceMerger shifts that node's (node-relative)
+///    trace events by the offset to land every event on the shared axis.
+///
+/// This is deliberately the only obs component that reads the wall clock
+/// (with the socket-bound StatsServer); both are exempted from lint rule
+/// D1 by DIR_POLICY entry, not by per-line suppression — see
+/// tools/lint/massbft_lint.py.
+class TraceClock {
+ public:
+  /// Nanoseconds since the process trace epoch. The first call anchors the
+  /// epoch; thread-safe.
+  static uint64_t NowNs();
+
+  /// Wall-clock time of the process trace epoch, as nanoseconds since the
+  /// unix epoch. Stable across the process lifetime; lets exporters turn a
+  /// NowNs() offset into an absolute timestamp.
+  static uint64_t UnixAnchorNs();
+};
+
+}  // namespace obs
+}  // namespace massbft
+
+#endif  // MASSBFT_OBS_TRACE_CLOCK_H_

@@ -26,6 +26,7 @@ void WriteArgs(JsonWriter& writer, const TraceArgs& args) {
 }  // namespace
 
 void TraceRecorder::RegisterTrack(uint32_t track, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   track_names_[track] = name;
 }
 
@@ -34,6 +35,7 @@ void TraceRecorder::RecordSpan(uint32_t track, const char* category,
                                TraceArgs args) {
   if (!enabled_) return;
   if (end < start) end = start;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{EventKind::kSpan, track, category, name, start, end,
                           0, args});
 }
@@ -42,6 +44,7 @@ void TraceRecorder::RecordInstant(uint32_t track, const char* category,
                                   const char* name, SimTime at,
                                   TraceArgs args) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(
       Event{EventKind::kInstant, track, category, name, at, at, 0, args});
 }
@@ -49,11 +52,35 @@ void TraceRecorder::RecordInstant(uint32_t track, const char* category,
 void TraceRecorder::RecordCounter(uint32_t track, const char* name, SimTime at,
                                   double value) {
   if (!enabled_) return;
+  std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(Event{EventKind::kCounter, track, nullptr, name, at, at,
                           value, TraceArgs{}});
 }
 
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<uint32_t, std::string> TraceRecorder::track_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return track_names_;
+}
+
 void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  const std::vector<Event> events = snapshot();
+  const std::map<uint32_t, std::string> names = track_names();
+
   JsonWriter writer(out);
   writer.BeginObject();
   writer.Member("displayTimeUnit", "ms");
@@ -61,7 +88,7 @@ void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
   writer.BeginArray();
 
   // Track metadata first: names and a stable sort order by track id.
-  for (const auto& [track, name] : track_names_) {
+  for (const auto& [track, name] : names) {
     writer.BeginObject();
     writer.Member("name", "thread_name");
     writer.Member("ph", "M");
@@ -84,7 +111,7 @@ void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
     writer.EndObject();
   }
 
-  for (const Event& event : events_) {
+  for (const Event& event : events) {
     writer.BeginObject();
     switch (event.kind) {
       case EventKind::kSpan:

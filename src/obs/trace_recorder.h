@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -17,7 +18,7 @@ namespace massbft {
 namespace obs {
 
 /// Up to this many numeric key/value annotations per event.
-constexpr int kMaxTraceArgs = 3;
+constexpr int kMaxTraceArgs = 5;
 
 /// One key/value annotation on a trace event. Keys must be string
 /// literals (they are stored unowned).
@@ -38,14 +39,32 @@ using TraceArgs = std::array<TraceArg, kMaxTraceArgs>;
 /// vector growth itself.
 ///
 /// Disabled (the default) every Record* call is a single branch; callers
-/// may also check enabled() first to skip argument preparation.
+/// may also check enabled() first to skip argument preparation. Recording
+/// is thread-safe: in real mode a node's recorder is written by its event
+/// loop and by transport-internal threads (writer/reader/fault-delay), and
+/// read by the merger after the run.
 class TraceRecorder {
  public:
+  enum class EventKind : uint8_t { kSpan, kInstant, kCounter };
+
+  struct Event {
+    EventKind kind;
+    uint32_t track;
+    const char* category;
+    const char* name;
+    SimTime start;
+    SimTime end;     // kSpan only.
+    double value;    // kCounter only.
+    TraceArgs args;  // kSpan / kInstant.
+  };
+
   TraceRecorder() = default;
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
   bool enabled() const { return enabled_; }
+  /// Must not be flipped while other threads may be recording (real mode
+  /// enables tracing during setup, before node threads start).
   void set_enabled(bool enabled) { enabled_ = enabled; }
 
   /// Names a track for the exporter (Chrome thread_name metadata). Safe to
@@ -65,8 +84,13 @@ class TraceRecorder {
   void RecordCounter(uint32_t track, const char* name, SimTime at,
                      double value);
 
-  size_t event_count() const { return events_.size(); }
-  void Clear() { events_.clear(); }
+  size_t event_count() const;
+  void Clear();
+
+  /// Copies of the recorded events / track names, for cross-recorder
+  /// merging (ClusterTraceMerger). Events are in recording order.
+  std::vector<Event> snapshot() const;
+  std::map<uint32_t, std::string> track_names() const;
 
   /// Writes the full Chrome trace-event JSON document. Timestamps are
   /// microseconds with nanosecond fractions; output is deterministic for
@@ -76,20 +100,8 @@ class TraceRecorder {
   Status WriteChromeTraceFile(const std::string& path) const;
 
  private:
-  enum class EventKind : uint8_t { kSpan, kInstant, kCounter };
-
-  struct Event {
-    EventKind kind;
-    uint32_t track;
-    const char* category;
-    const char* name;
-    SimTime start;
-    SimTime end;     // kSpan only.
-    double value;    // kCounter only.
-    TraceArgs args;  // kSpan / kInstant.
-  };
-
   bool enabled_ = false;
+  mutable std::mutex mu_;
   std::vector<Event> events_;
   std::map<uint32_t, std::string> track_names_;
 };

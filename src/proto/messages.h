@@ -52,11 +52,33 @@ enum class MessageType : uint8_t {
 
 /// Fixed frame overhead charged on every message in addition to the body:
 /// the net/ wire format's frame header (magic u32, version u8, type u8,
-/// sender NodeId u32, body length u32, CRC32 u32 — see DESIGN.md §12).
-/// net/wire.cc static_asserts that its header layout matches this constant,
-/// so simulated link accounting and the real transport charge identical
-/// per-message overhead.
-constexpr size_t kFrameOverheadBytes = 4 + 1 + 1 + 4 + 4 + 4;
+/// flags u8, sender NodeId u32, body length u32, CRC32 u32 — see DESIGN.md
+/// §12). net/wire.cc static_asserts that its header layout matches this
+/// constant, so simulated link accounting and the real transport charge
+/// identical per-message overhead.
+constexpr size_t kFrameOverheadBytes = 4 + 1 + 1 + 1 + 4 + 4 + 4;
+
+/// Size of the wire trace context (gid u16, seq u64, origin NodeId u32,
+/// origin timestamp u64 — DESIGN.md §14) that entry-carrying frames
+/// attach after the header. Always present for those types regardless of
+/// whether tracing is enabled, so byte accounting never depends on
+/// observability settings.
+constexpr size_t kTraceContextBytes = 2 + 8 + 4 + 8;
+
+/// True for the message types that carry an entry (or propose one) across
+/// the wire and therefore attach a trace context: the hops that stitch an
+/// entry's cross-node lifecycle together in the merged trace.
+constexpr bool CarriesTraceContext(MessageType type) {
+  return type == MessageType::kPrePrepare ||
+         type == MessageType::kEntryTransfer ||
+         type == MessageType::kChunkBatch ||
+         type == MessageType::kRaftPropose ||
+         type == MessageType::kLeaderForward;
+}
+
+/// Stable lowercase name for diagnostics (health views, flight-recorder
+/// dumps). Never returns null.
+const char* MessageTypeName(MessageType type);
 
 /// Common base for every wire message. The encoded body is the single
 /// source of truth for message size: ByteSize() runs the real encoder once
@@ -70,7 +92,21 @@ class ProtocolMessage : public SimMessage {
 
   int type() const override { return static_cast<int>(type_); }
   MessageType message_type() const { return type_; }
-  size_t ByteSize() const override { return kFrameOverheadBytes + body_size(); }
+  size_t ByteSize() const override {
+    return kFrameOverheadBytes +
+           (CarriesTraceContext(type_) ? kTraceContextBytes : 0) + body_size();
+  }
+
+  /// Entry identity for cross-node trace correlation. Returns true and
+  /// fills (gid, seq) exactly for the types where CarriesTraceContext()
+  /// holds (the wire layer static-asserts nothing, but DecodeFrame rejects
+  /// frames whose flag disagrees with the type, which keeps this invariant
+  /// honest end to end).
+  virtual bool TraceKey(uint16_t* gid, uint64_t* seq) const {
+    (void)gid;
+    (void)seq;
+    return false;
+  }
 
   /// Serializes the message body (everything after the frame header) in the
   /// canonical wire layout. DecodeMessageBody() inverts it.
@@ -145,6 +181,11 @@ class PrePrepareMsg : public ProtocolMessage {
   const EntryPtr& entry() const { return entry_; }
   const Signature& sig() const { return sig_; }
   void EncodeBodyTo(BinaryWriter* w) const override;
+  bool TraceKey(uint16_t* gid, uint64_t* seq) const override {
+    *gid = entry_->gid();
+    *seq = entry_->seq();
+    return true;
+  }
 
  private:
   uint64_t view_;
@@ -263,6 +304,11 @@ class EntryTransferMsg : public ProtocolMessage {
   const EntryPtr& entry() const { return entry_; }
   const Certificate& cert() const { return cert_; }
   void EncodeBodyTo(BinaryWriter* w) const override;
+  bool TraceKey(uint16_t* gid, uint64_t* seq) const override {
+    *gid = entry_->gid();
+    *seq = entry_->seq();
+    return true;
+  }
 
  private:
   EntryPtr entry_;
@@ -304,6 +350,11 @@ class ChunkBatchMsg : public ProtocolMessage {
   const std::vector<Chunk>& chunks() const { return chunks_; }
   size_t entry_size() const { return entry_size_; }
   void EncodeBodyTo(BinaryWriter* w) const override;
+  bool TraceKey(uint16_t* gid, uint64_t* seq) const override {
+    *gid = gid_;
+    *seq = seq_;
+    return true;
+  }
 
  private:
   uint16_t gid_;
@@ -359,6 +410,11 @@ class RaftProposeMsg : public ProtocolMessage {
   uint16_t origin_gid() const { return origin_gid_; }
   uint64_t origin_seq() const { return origin_seq_; }
   void EncodeBodyTo(BinaryWriter* w) const override;
+  bool TraceKey(uint16_t* gid, uint64_t* seq) const override {
+    *gid = gid_;
+    *seq = seq_;
+    return true;
+  }
 
  private:
   uint16_t gid_;
@@ -560,6 +616,11 @@ class LeaderForwardMsg : public ProtocolMessage {
   const EntryPtr& entry() const { return entry_; }
   const Certificate& cert() const { return cert_; }
   void EncodeBodyTo(BinaryWriter* w) const override;
+  bool TraceKey(uint16_t* gid, uint64_t* seq) const override {
+    *gid = entry_->gid();
+    *seq = entry_->seq();
+    return true;
+  }
 
  private:
   EntryPtr entry_;

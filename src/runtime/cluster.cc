@@ -1,10 +1,16 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/json_writer.h"
+#include "obs/prometheus.h"
+#include "obs/trace_clock.h"
+#include "obs/trace_merge.h"
 #include "sim/metrics.h"  // InterpolatedPercentile
 
 namespace massbft {
@@ -28,6 +34,12 @@ RealCluster::RealCluster(RealClusterConfig config)
     : config_(std::move(config)) {}
 
 RealCluster::~RealCluster() {
+  // Join the stats-server thread first: its handlers Call into runtimes,
+  // so no handler may be in flight while the runtimes are torn down.
+  stats_server_.Stop();
+  sampling_.store(false);
+  if (sampler_.joinable()) sampler_.join();
+  std::lock_guard<std::mutex> lock(introspection_mu_);
   for (auto& rt : runtimes_) rt->Stop();
 }
 
@@ -76,8 +88,17 @@ Status RealCluster::Setup() {
     rt->node().set_always_execute(true);
     rt->set_on_txn_committed(
         [this](const Transaction& txn, SimTime) { OnTxnCommitted(txn); });
+    if (config_.enable_tracing || !config_.trace_path.empty()) {
+      // Tracing must be switched on before any node thread exists (the
+      // enabled flag is not flippable under concurrent recording).
+      rt->telemetry().set_tracing(true);
+      rt->telemetry().trace().RegisterTrack(
+          obs::Telemetry::NodeTrack(id.Packed()), "node " + NodeName(id));
+    }
     runtimes_.push_back(std::move(rt));
   }
+
+  if (config_.stats_port >= 0) MASSBFT_RETURN_IF_ERROR(StartStatsServer());
 
   Rng seed_rng(config_.seed);
   client_workloads_.resize(config_.topology.group_sizes.size());
@@ -132,18 +153,32 @@ void RealCluster::OnTxnCommitted(const Transaction& txn) {
           static_cast<size_t>(config_.clients_per_group) +
       index;
   if (client_index >= clients_.size()) return;
+  const double latency_ms = MsSince(clients_[client_index].submitted_at);
   committed_.fetch_add(1, std::memory_order_relaxed);
-  latencies_[group].push_back(MsSince(clients_[client_index].submitted_at));
+  latency_sum_us_.fetch_add(static_cast<uint64_t>(latency_ms * 1000.0),
+                            std::memory_order_relaxed);
+  latencies_[group].push_back(latency_ms);
   if (issuing_.load(std::memory_order_relaxed)) SubmitNext(client_index);
 }
 
 Status RealCluster::KillNode(NodeId id) {
+  // Serialized against stats handlers: Stop() clears the node's queue, so
+  // a concurrent handler Call posted-but-unprocessed would never resolve.
+  std::lock_guard<std::mutex> lock(introspection_mu_);
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr)
     return Status::NotFound("no such node " + NodeName(id));
   if (!rt->running())
     return Status::FailedPrecondition("node " + NodeName(id) +
                                       " already stopped");
+  obs::Telemetry& telemetry = rt->telemetry();
+  telemetry.flight().Record(static_cast<uint64_t>(telemetry.TraceNowNs()),
+                            "node", "kill", static_cast<double>(id.Packed()),
+                            0);
+  if (telemetry.tracing()) {
+    telemetry.trace().RecordInstant(obs::Telemetry::NodeTrack(id.Packed()),
+                                    "node", "kill", telemetry.TraceNowNs());
+  }
   // Crash on the event loop first (cancels protocol timers via the epoch
   // bump) so a later restart resumes a node that knows it crashed, then
   // tear the runtime — and its transport — down.
@@ -158,6 +193,7 @@ Status RealCluster::KillNode(NodeId id) {
 }
 
 Status RealCluster::RestartNode(NodeId id) {
+  std::lock_guard<std::mutex> lock(introspection_mu_);
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr)
     return Status::NotFound("no such node " + NodeName(id));
@@ -165,6 +201,12 @@ Status RealCluster::RestartNode(NodeId id) {
     return Status::FailedPrecondition("node " + NodeName(id) +
                                       " is running");
   MASSBFT_RETURN_IF_ERROR(rt->Start());
+  obs::Telemetry& telemetry = rt->telemetry();
+  if (telemetry.tracing()) {
+    telemetry.trace().RecordInstant(obs::Telemetry::NodeTrack(id.Packed()),
+                                    "node", "restart",
+                                    telemetry.TraceNowNs());
+  }
   // Rejoin on the fresh event loop: Recover() re-arms the timers and, for
   // a leader, requests catch-up from a peer group (paper Section V-C). The
   // runtime deliberately did not re-run GroupNode::Start().
@@ -254,11 +296,159 @@ bool RealCluster::DrainUntilStable() {
   return false;
 }
 
+Status RealCluster::StartStatsServer() {
+  stats_server_.RegisterHandler("/metrics", [this] {
+    obs::StatsServer::Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = MetricsText();
+    return response;
+  });
+  stats_server_.RegisterHandler("/health", [this] {
+    obs::StatsServer::Response response;
+    response.content_type = "application/json";
+    response.body = HealthJson();
+    return response;
+  });
+  return stats_server_.Start(static_cast<uint16_t>(config_.stats_port));
+}
+
+std::string RealCluster::MetricsText() {
+  std::vector<obs::LabeledSnapshot> snapshots;
+  snapshots.reserve(runtimes_.size());
+  {
+    std::lock_guard<std::mutex> lock(introspection_mu_);
+    for (auto& rt : runtimes_) {
+      NodeRuntime* raw = rt.get();
+      obs::LabeledSnapshot labeled;
+      labeled.labels = "node=\"" + NodeName(raw->id()) + "\"";
+      // Snapshot on the node's own event loop (or inline when stopped):
+      // the registry maps are only ever touched single-threaded there.
+      labeled.snapshot = raw->Call(
+          [raw](GroupNode&) { return raw->telemetry().registry().Snapshot(); });
+      snapshots.push_back(std::move(labeled));
+    }
+  }
+  std::ostringstream out;
+  obs::WritePrometheusText(snapshots, out);
+  return out.str();
+}
+
+std::string RealCluster::HealthJson() {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.BeginObject();
+  w.Member("mode", "real");
+  w.Member("committed_txns", committed_.load(std::memory_order_relaxed));
+  w.Member("nodes_killed", nodes_killed_);
+  uint64_t faults = 0;
+  for (const FaultInjectingTransport* injector : fault_transports_)
+    faults += injector->fault_stats().total();
+  w.Member("faults_injected", faults);
+  w.Key("nodes");
+  w.BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(introspection_mu_);
+    for (auto& rt : runtimes_) {
+      NodeRuntime* raw = rt.get();
+      const bool running = raw->running();
+      w.BeginObject();
+      w.Member("node", NodeName(raw->id()));
+      w.Member("running", running);
+      w.Member("queue_depth", static_cast<uint64_t>(raw->queue_depth()));
+      struct Progress {
+        uint64_t executed;
+        bool rejoined;
+      };
+      // One inspection hop per node; a stopped runtime answers inline.
+      const Progress progress = raw->Call([](GroupNode& n) {
+        return Progress{n.executed_entries(), n.rejoined()};
+      });
+      w.Member("executed_entries", progress.executed);
+      w.Member("rejoined", progress.rejoined);
+      const Transport::Stats stats = raw->transport().stats();
+      w.Member("reconnects", stats.reconnects);
+      w.Member("send_errors", stats.send_errors);
+      w.Member("decode_errors", stats.decode_errors);
+      w.Member("backpressure_drops", stats.dropped_backpressure);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+  return out.str();
+}
+
+void RealCluster::DumpFlightRecorders(const char* why) {
+  std::cerr << "=== flight recorder dump (" << why << ") ===\n";
+  for (auto& rt : runtimes_)
+    rt->telemetry().flight().Dump(std::cerr, "node " + NodeName(rt->id()));
+}
+
+void RealCluster::SamplerLoop(Clock::time_point start) {
+  const double interval_s =
+      config_.sample_interval_s > 0 ? config_.sample_interval_s : 0.5;
+  uint64_t prev_committed = 0;
+  uint64_t prev_latency_us = 0;
+  for (int tick = 1; sampling_.load(std::memory_order_relaxed); ++tick) {
+    const auto bucket_end =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(interval_s * tick));
+    while (sampling_.load(std::memory_order_relaxed) &&
+           Clock::now() < bucket_end) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!sampling_.load(std::memory_order_relaxed)) return;
+    const uint64_t committed = committed_.load(std::memory_order_relaxed);
+    const uint64_t latency_us = latency_sum_us_.load(std::memory_order_relaxed);
+    const uint64_t delta = committed - prev_committed;
+    MetricsCollector::TimelinePoint point;
+    point.time_s = interval_s * tick;
+    point.tps = static_cast<double>(delta) / interval_s;
+    point.mean_latency_ms =
+        delta == 0 ? 0
+                   : static_cast<double>(latency_us - prev_latency_us) /
+                         1000.0 / static_cast<double>(delta);
+    timeline_.push_back(point);
+    prev_committed = committed;
+    prev_latency_us = latency_us;
+  }
+}
+
+Status RealCluster::WriteMergedTrace(const std::string& path) const {
+  obs::ClusterTraceMerger merger;
+  merger.set_unix_anchor_ns(obs::TraceClock::UnixAnchorNs());
+  for (const auto& rt : runtimes_) {
+    merger.AddNode(rt->id().Packed(), "node " + NodeName(rt->id()),
+                   rt->telemetry().trace_anchor_ns(), rt->telemetry().trace());
+  }
+  return merger.WriteChromeTraceFile(path);
+}
+
 Result<ExperimentResult> RealCluster::Run() {
   if (!setup_done_) return Status::FailedPrecondition("Setup() not called");
   const auto wall_start = Clock::now();
 
   for (auto& rt : runtimes_) MASSBFT_RETURN_IF_ERROR(rt->Start());
+
+  // Timeline sampler: one thread turning the shared commit counters into
+  // per-bucket throughput/latency points (ExperimentResult::timeline).
+  sampling_.store(true);
+  sampler_ = std::thread([this, wall_start] { SamplerLoop(wall_start); });
+  // Stops the sampler and (on the failure paths) preserves the evidence:
+  // flight recorders to stderr, merged trace to the configured path.
+  auto finish_sampling = [this] {
+    sampling_.store(false);
+    if (sampler_.joinable()) sampler_.join();
+  };
+  auto fail = [&](const char* why, Status status) -> Status {
+    finish_sampling();
+    DumpFlightRecorders(why);
+    if (!config_.trace_path.empty()) (void)WriteMergedTrace(config_.trace_path);
+    std::lock_guard<std::mutex> lock(introspection_mu_);
+    for (auto& rt : runtimes_) rt->Stop();
+    return status;
+  };
 
   issuing_.store(true);
   for (size_t i = 0; i < clients_.size(); ++i) SubmitNext(i);
@@ -272,9 +462,12 @@ Result<ExperimentResult> RealCluster::Run() {
 
   // Let in-flight entries commit and execute everywhere. The VTS liveness
   // tick keeps advancing the global order even with no new client load.
-  if (!DrainUntilStable())
-    return Status::Internal("cluster did not reach a stable agreed state "
-                            "within the drain timeout");
+  if (!DrainUntilStable()) {
+    return fail("drain timeout",
+                Status::Internal("cluster did not reach a stable agreed "
+                                 "state within the drain timeout"));
+  }
+  finish_sampling();
 
   // Collect per-node state through each node's own event loop, then stop.
   // Killed and rejoined nodes sit out the agreement check (same rule as
@@ -289,25 +482,31 @@ Result<ExperimentResult> RealCluster::Run() {
         rt->Call([](GroupNode& n) { return n.store().StateFingerprint(); }));
     logs.push_back(rt->Call([](GroupNode& n) { return n.execution_log(); }));
   }
-  for (auto& rt : runtimes_) rt->Stop();
+  {
+    std::lock_guard<std::mutex> lock(introspection_mu_);
+    for (auto& rt : runtimes_) rt->Stop();
+  }
 
   if (fingerprints.empty())
-    return Status::Internal(
-        "no continuously-correct node survived to the agreement check");
+    return fail("no surviving node",
+                Status::Internal("no continuously-correct node survived to "
+                                 "the agreement check"));
 
   // Agreement: identical fingerprints, and identical execution order over
   // the common prefix (lengths differ only by the still-moving empty-entry
   // tail; see DrainUntilStable).
   for (size_t i = 1; i < fingerprints.size(); ++i) {
     if (fingerprints[i] != fingerprints[0])
-      return Status::Internal("state fingerprint divergence at node " +
-                              NodeName(agreed[i]));
+      return fail("fingerprint divergence",
+                  Status::Internal("state fingerprint divergence at node " +
+                                   NodeName(agreed[i])));
     size_t limit = std::min(logs[i].size(), logs[0].size());
     for (size_t k = 0; k < limit; ++k) {
       if (logs[i][k] != logs[0][k])
-        return Status::Internal(
-            "execution order divergence at node " + NodeName(agreed[i]) +
-            " position " + std::to_string(k));
+        return fail("execution order divergence",
+                    Status::Internal("execution order divergence at node " +
+                                     NodeName(agreed[i]) + " position " +
+                                     std::to_string(k)));
     }
   }
 
@@ -342,11 +541,14 @@ Result<ExperimentResult> RealCluster::Run() {
     result.faults_injected += injector->fault_stats().total();
   result.nodes_killed = nodes_killed_;
   if (!logs.empty()) result.entries_proposed = logs[0].size();
+  result.timeline = timeline_;
   result.wall_ms = MsSince(wall_start);
   if (result.entries_proposed > 0)
     result.wan_bytes_per_entry =
         static_cast<double>(result.total_wan_bytes) /
         static_cast<double>(result.entries_proposed);
+  if (!config_.trace_path.empty())
+    MASSBFT_RETURN_IF_ERROR(WriteMergedTrace(config_.trace_path));
   return result;
 }
 

@@ -4,6 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -12,6 +15,7 @@
 #include "net/fault_transport.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
+#include "obs/stats_server.h"
 #include "runtime/node_runtime.h"
 
 namespace massbft {
@@ -50,6 +54,22 @@ struct RealClusterConfig {
   /// restarted nodes rejoin via GroupNode::Recover() and are excluded from
   /// the final agreement check, mirroring Experiment::CheckAgreement.
   double restart_at_s = 0;
+
+  // ---- Observability (DESIGN.md §14).
+  /// Record per-node protocol traces and write the merged cluster-wide
+  /// Chrome trace (one process per node, cross-node flow arrows) here
+  /// after the run. Empty = no trace. Setting it implies enable_tracing.
+  std::string trace_path;
+  /// Record traces without necessarily exporting them (tests inspect the
+  /// recorders directly; Run() only writes a file when trace_path is set).
+  bool enable_tracing = false;
+  /// Live introspection: -1 = no stats server; otherwise a localhost HTTP
+  /// server on this port (0 = ephemeral, see stats_port()) serving
+  /// /metrics (Prometheus text) and /health (cluster JSON) from Setup()
+  /// until destruction.
+  int stats_port = -1;
+  /// Timeline bucket width for ExperimentResult::timeline in real mode.
+  double sample_interval_s = 0.5;
 };
 
 /// Builds one NodeRuntime per node, drives closed-loop clients against the
@@ -91,6 +111,15 @@ class RealCluster {
     return runtimes_;
   }
 
+  /// Merges every node's trace recorder into one Chrome trace file (see
+  /// obs::ClusterTraceMerger). Requires tracing to have been enabled; most
+  /// callers just set RealClusterConfig::trace_path and let Run() do it.
+  [[nodiscard]] Status WriteMergedTrace(const std::string& path) const;
+
+  /// Bound port of the stats server (valid after Setup() when
+  /// config.stats_port >= 0; resolves an ephemeral request).
+  uint16_t stats_port() const { return stats_server_.port(); }
+
  private:
   struct Client {
     uint32_t id = 0;
@@ -117,6 +146,20 @@ class RealCluster {
   /// Executes the configured crash/restart schedule while sleeping out the
   /// transaction-issuing window.
   [[nodiscard]] Status IssueWindow();
+  /// Starts the localhost stats server and registers /metrics + /health.
+  [[nodiscard]] Status StartStatsServer();
+  /// Prometheus text exposition of every node's metrics registry.
+  std::string MetricsText();
+  /// Cluster-health JSON: per-node liveness, progress, queue depth and
+  /// transport health, plus cluster-wide commit/fault counters.
+  std::string HealthJson();
+  /// Dumps every node's flight recorder to stderr (called on agreement
+  /// failure / drain timeout so the last events before the failure are in
+  /// the log).
+  void DumpFlightRecorders(const char* why);
+  /// Periodic sampler body: fills timeline_ every sample_interval_s from
+  /// the shared commit counters until sampling_ clears.
+  void SamplerLoop(std::chrono::steady_clock::time_point start);
 
   RealClusterConfig config_;
   std::unique_ptr<Topology> topology_;
@@ -133,7 +176,24 @@ class RealCluster {
 
   std::atomic<bool> issuing_{false};
   std::atomic<uint64_t> committed_{0};
+  /// Sum of commit latencies in microseconds (with committed_, lets the
+  /// sampler derive per-bucket mean latency without touching the
+  /// single-writer latencies_ vectors).
+  std::atomic<uint64_t> latency_sum_us_{0};
   bool setup_done_ = false;
+
+  /// Serializes node lifecycle transitions (KillNode/RestartNode/final
+  /// stop) against stats-server handlers: a handler's NodeRuntime::Call
+  /// must never overlap a Stop() that would clear the queued call before
+  /// it runs. Leaf lock below the handlers; never taken on event loops.
+  std::mutex introspection_mu_;
+  obs::StatsServer stats_server_;
+
+  /// Timeline sampler (real-mode ExperimentResult::timeline). The sampler
+  /// thread is the only writer; Run() reads after joining it.
+  std::atomic<bool> sampling_{false};
+  std::thread sampler_;
+  std::vector<MetricsCollector::TimelinePoint> timeline_;
 
   /// Non-owning views of the per-node injectors (owned by the runtimes'
   /// transport chain); empty when net_faults.any() is false.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace_clock.h"
+
 namespace massbft {
 
 TransportNetwork::TransportNetwork(Simulator* sim, const Topology* topology,
@@ -22,6 +24,17 @@ void TransportNetwork::SendReal(NodeId dst, const MessagePtr& message,
   // only the byte-accounting face the simulated network sees.
   const auto& msg = static_cast<const ProtocolMessage&>(*message);
   *counter += msg.ByteSize();
+  if (telemetry_ != nullptr && telemetry_->tracing()) {
+    uint16_t gid = 0;
+    uint64_t seq = 0;
+    if (msg.TraceKey(&gid, &seq)) {
+      telemetry_->trace().RecordInstant(
+          track_, "wire", "send", telemetry_->TraceNowNs(),
+          obs::TraceArgs{{{"gid", static_cast<double>(gid)},
+                          {"seq", static_cast<double>(seq)},
+                          {"dst", static_cast<double>(dst.Packed())}}});
+    }
+  }
   // Best-effort, like a datagram over an unreliable link: the BFT layer
   // owns retries. The transport counts the failure in its stats.
   (void)transport_->Send(dst, msg);
@@ -42,6 +55,7 @@ NodeRuntime::NodeRuntime(NodeId id, const ProtocolConfig& protocol,
   // Wire the transport's net/* series into this node's registry before any
   // thread exists (instrument handles must be resolved single-threaded).
   transport_->BindTelemetry(ctx_.telemetry);
+  network_.BindTelemetry(ctx_.telemetry, obs::Telemetry::NodeTrack(id.Packed()));
   node_ = std::make_unique<GroupNode>(&sim_, &network_, id, protocol, &ctx_);
 }
 
@@ -61,6 +75,11 @@ Status NodeRuntime::Start() {
     if (first_start) {
       epoch_ = std::chrono::steady_clock::now();
       started_once_ = true;
+      // Anchor this node's timebase (ns since epoch_) on the process trace
+      // clock, read at the same moment the epoch is taken: the cluster
+      // merger shifts every node's events by this offset onto one axis,
+      // and transport threads stamp events via Telemetry::TraceNowNs().
+      ctx_.telemetry->set_trace_anchor_ns(obs::TraceClock::NowNs());
     }
   }
   Status s = transport_->Start([this](Frame frame) { Deliver(std::move(frame)); });
@@ -70,6 +89,9 @@ Status NodeRuntime::Start() {
     return s;
   }
   thread_ = std::thread([this] { Loop(); });
+  ctx_.telemetry->flight().Record(
+      static_cast<uint64_t>(ctx_.telemetry->TraceNowNs()), "node",
+      first_start ? "start" : "restart", static_cast<double>(id_.Packed()), 0);
   // First boot arms the node's timers. A restart does not: the caller
   // decides the rejoin protocol (RealCluster posts GroupNode::Recover(),
   // which bumps the timer epoch and re-arms).
@@ -88,6 +110,9 @@ void NodeRuntime::Stop() {
   }
   cv_.notify_one();
   if (thread_.joinable()) thread_.join();
+  ctx_.telemetry->flight().Record(
+      static_cast<uint64_t>(ctx_.telemetry->TraceNowNs()), "node", "stop",
+      static_cast<double>(id_.Packed()), 0);
   // Work posted but never run dies here; a restart must not replay a
   // stale batch from before the crash.
   std::lock_guard<std::mutex> lock(mu_);
@@ -111,6 +136,21 @@ SimTime NodeRuntime::Elapsed() const {
 }
 
 void NodeRuntime::Deliver(Frame frame) {
+  // The receive side of cross-node trace stitching: every entry-carrying
+  // frame leaves a "wire/recv" instant on this node's track, annotated
+  // with the sender-stamped trace context. The merger synthesizes flow
+  // arrows purely from these instants (origin_ts is already on the shared
+  // process axis), so no send/recv pairing search is needed.
+  if (frame.has_trace && ctx_.telemetry->tracing()) {
+    ctx_.telemetry->trace().RecordInstant(
+        obs::Telemetry::NodeTrack(id_.Packed()), "wire", "recv",
+        ctx_.telemetry->TraceNowNs(),
+        obs::TraceArgs{
+            {{"gid", static_cast<double>(frame.trace.gid)},
+             {"seq", static_cast<double>(frame.trace.seq)},
+             {"origin", static_cast<double>(frame.trace.origin)},
+             {"origin_ts", static_cast<double>(frame.trace.origin_ts_ns)}}});
+  }
   // Re-wrap as the shared-pointer type HandleMessage expects. The lambda
   // must be copyable for std::function, hence shared_ptr.
   MessagePtr msg(std::move(frame.msg));

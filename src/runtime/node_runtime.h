@@ -45,6 +45,13 @@ class TransportNetwork : public Network {
   void CrashNode(NodeId) override {}
   void RecoverNode(NodeId) override {}
 
+  /// Wires the owning node's telemetry so entry-carrying sends leave a
+  /// "wire/send" instant on `track` (the owner's node track) when tracing.
+  void BindTelemetry(obs::Telemetry* telemetry, uint32_t track) {
+    telemetry_ = telemetry;
+    track_ = track;
+  }
+
   /// Encoded bytes actually handed to the transport, by link class.
   uint64_t wan_bytes_sent() const { return wan_bytes_sent_; }
   uint64_t lan_bytes_sent() const { return lan_bytes_sent_; }
@@ -53,6 +60,8 @@ class TransportNetwork : public Network {
   void SendReal(NodeId dst, const MessagePtr& message, uint64_t* counter);
 
   Transport* transport_;
+  obs::Telemetry* telemetry_ = nullptr;
+  uint32_t track_ = 0;
   uint64_t wan_bytes_sent_ = 0;
   uint64_t lan_bytes_sent_ = 0;
 };
@@ -140,6 +149,18 @@ class NodeRuntime {
   GroupNode& node() { return *node_; }
   Transport& transport() { return *transport_; }
   const TransportNetwork& network() const { return network_; }
+
+  /// This node's private observability context (registry + trace recorder
+  /// + flight recorder). Valid for the runtime's whole lifetime.
+  obs::Telemetry& telemetry() { return *ctx_.telemetry; }
+  const obs::Telemetry& telemetry() const { return *ctx_.telemetry; }
+
+  /// Work items queued for the event loop but not yet run (introspection;
+  /// a sustained backlog means the loop cannot keep up with delivery).
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
 
   /// Nanoseconds of wall clock since Start() — the loop's virtual "now".
   SimTime Elapsed() const;

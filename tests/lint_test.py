@@ -93,6 +93,21 @@ class FixtureTest(unittest.TestCase):
                          "clock and unordered iteration are its job and "
                          "must not fire D1/D2")
 
+    def test_file_stem_policy_exempts_obs_wallclock_bridges(self):
+        self.assertEqual(self.findings_for("src/obs/stats_server.cc"), [],
+                         "src/obs/stats_server has a file-stem DIR_POLICY "
+                         "entry: the stats server is a real-time bridge and "
+                         "its wall-clock use is exempt by policy, without "
+                         "per-line suppressions")
+
+    def test_file_stem_policy_does_not_leak_to_siblings(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/obs/bad_obs_wallclock.cc")]
+        self.assertEqual(rules, [("D1", "wallclock")],
+                         "the stem exemption covers only stats_server.* — "
+                         "the src/obs directory entry must still bind D1 "
+                         "for every other obs file")
+
     def test_suppression_in_exempt_dir_is_flagged_stale(self):
         rules = [(f[2], f[3]) for f in
                  self.findings_for("src/runtime/stale_suppression.cc")]
@@ -107,6 +122,7 @@ class FixtureTest(unittest.TestCase):
             "src/common/status.h", "src/proto/bad_factory.h",
             "src/sim/unused_suppression.cc",
             "src/runtime/stale_suppression.cc",
+            "src/obs/bad_obs_wallclock.cc",
         }
         self.assertEqual({f[0] for f in self.findings}, expected_files)
 

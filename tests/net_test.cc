@@ -237,7 +237,9 @@ TEST(WireRoundTripTest, EveryMessageTypeRoundTrips) {
       auto msg = MakeMessage(type, rng);
       ASSERT_NE(msg, nullptr) << "no factory for type "
                               << static_cast<int>(type);
-      Bytes wire = EncodeFrame(*msg, src);
+      // Fixed origin timestamp so the re-encode comparison below is
+      // byte-exact (the default overload stamps TraceClock::NowNs()).
+      Bytes wire = EncodeFrame(*msg, src, 777);
       EXPECT_EQ(wire.size(), msg->ByteSize())
           << "type " << static_cast<int>(type);
 
@@ -252,7 +254,9 @@ TEST(WireRoundTripTest, EveryMessageTypeRoundTrips) {
       ASSERT_NE(frame->msg, nullptr);
       EXPECT_EQ(frame->msg->message_type(), type);
 
-      Bytes rewire = EncodeFrame(*frame->msg, src);
+      EXPECT_EQ(frame->has_trace, CarriesTraceContext(type));
+
+      Bytes rewire = EncodeFrame(*frame->msg, src, 777);
       EXPECT_EQ(rewire, wire) << "re-encode divergence for type "
                               << static_cast<int>(type);
     }
@@ -309,13 +313,65 @@ Bytes SampleFrame() {
 /// the check they target instead of tripping the CRC first.
 void FixCrc(Bytes& wire) {
   Crc32 crc;
-  crc.Update(wire.data() + 4, 10);
+  crc.Update(wire.data() + 4, kFrameHeaderBytes - 8);  // version..body_len
   crc.Update(wire.data() + kFrameHeaderBytes,
              wire.size() - kFrameHeaderBytes);
   uint32_t value = crc.Finish();
   for (int i = 0; i < 4; ++i)
-    wire[14 + static_cast<size_t>(i)] =
+    wire[kFrameHeaderBytes - 4 + static_cast<size_t>(i)] =
         static_cast<uint8_t>(value >> (8 * i));
+}
+
+// ------------------------------------------------------- Trace context
+
+TEST(WireTraceContextTest, EntryCarryingFrameRoundTripsContext) {
+  auto entry = std::make_shared<const Entry>(3, 42, std::vector<Transaction>{});
+  Certificate cert;
+  EntryTransferMsg msg(entry, cert);
+  const NodeId src{3, 5};
+  auto frame = DecodeFrame(EncodeFrame(msg, src, 123456789));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame->has_trace);
+  EXPECT_EQ(frame->trace.gid, 3);
+  EXPECT_EQ(frame->trace.seq, 42u);
+  EXPECT_EQ(frame->trace.origin, src.Packed());
+  EXPECT_EQ(frame->trace.origin_ts_ns, 123456789u);
+}
+
+TEST(WireTraceContextTest, NonCarryingFrameHasNoContext) {
+  ClientReplyMsg msg(7, true);
+  auto frame = DecodeFrame(EncodeFrame(msg, NodeId{0, 1}));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->has_trace);
+}
+
+TEST(WireTraceContextTest, DefaultEncodeStampsTraceClock) {
+  // The convenience overload stamps TraceClock::NowNs(): two encodes of
+  // the same message must carry non-decreasing origin timestamps.
+  auto entry = std::make_shared<const Entry>(1, 9, std::vector<Transaction>{});
+  EntryTransferMsg msg(entry, Certificate{});
+  auto first = DecodeFrame(EncodeFrame(msg, NodeId{1, 0}));
+  auto second = DecodeFrame(EncodeFrame(msg, NodeId{1, 0}));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(first->trace.origin_ts_ns, second->trace.origin_ts_ns);
+}
+
+TEST(WireTraceContextTest, FlagMismatchingTypeIsRejected) {
+  // Strip the flag from an entry-carrying frame: decode must refuse, or
+  // sim/real byte accounting could silently diverge.
+  auto entry = std::make_shared<const Entry>(0, 1, std::vector<Transaction>{});
+  EntryTransferMsg msg(entry, Certificate{});
+  Bytes wire = EncodeFrame(msg, NodeId{0, 0}, 1);
+  wire[6] = 0;  // flags byte
+  // Splice out the 22-byte context so the frame is self-consistent again.
+  wire.erase(wire.begin() + static_cast<ptrdiff_t>(kFrameHeaderBytes),
+             wire.begin() +
+                 static_cast<ptrdiff_t>(kFrameHeaderBytes + kTraceContextBytes));
+  FixCrc(wire);
+  auto frame = DecodeFrame(wire);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_TRUE(frame.status().IsCorruption());
 }
 
 TEST(WireMalformedTest, TruncatedAtEveryLengthIsRejected) {
@@ -349,7 +405,7 @@ TEST(WireMalformedTest, BadVersionIsRejected) {
 
 TEST(WireMalformedTest, WrongCrcIsRejected) {
   Bytes wire = SampleFrame();
-  wire[14] ^= 0x01;  // CRC field itself.
+  wire[kFrameHeaderBytes - 4] ^= 0x01;  // CRC field itself.
   EXPECT_FALSE(DecodeFrame(wire).ok());
   wire = SampleFrame();
   wire.back() ^= 0x01;  // Body byte.
@@ -371,7 +427,7 @@ TEST(WireMalformedTest, OversizedBodyLengthIsRejected) {
   Bytes wire = SampleFrame();
   uint32_t huge = kMaxBodyBytes + 1;
   for (int i = 0; i < 4; ++i)
-    wire[10 + static_cast<size_t>(i)] =
+    wire[11 + static_cast<size_t>(i)] =
         static_cast<uint8_t>(huge >> (8 * i));
   EXPECT_FALSE(PeekFrameLength(wire.data(), wire.size()).ok());
   EXPECT_FALSE(DecodeFrame(wire).ok());
@@ -388,7 +444,7 @@ TEST(WireMalformedTest, ImplausibleElementCountIsRejected) {
   wire.insert(wire.end(), body.buffer().begin(), body.buffer().end());
   uint32_t body_len = static_cast<uint32_t>(body.size());
   for (int i = 0; i < 4; ++i)
-    wire[10 + static_cast<size_t>(i)] =
+    wire[11 + static_cast<size_t>(i)] =
         static_cast<uint8_t>(body_len >> (8 * i));
   FixCrc(wire);
   auto frame = DecodeFrame(wire);

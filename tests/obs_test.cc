@@ -1,15 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "core/experiment.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
+#include "obs/stats_server.h"
 #include "obs/telemetry.h"
+#include "obs/trace_clock.h"
+#include "obs/trace_merge.h"
 #include "obs/trace_recorder.h"
 #include "sim/time.h"
 
@@ -475,6 +485,396 @@ TEST(ObsEndToEndTest, ExportsParseAndCoverCommitPath) {
   EXPECT_NE(run.result_json.find("\"phases\""), std::string::npos);
   EXPECT_NE(run.result_json.find("\"aborted_txns\""), std::string::npos);
   EXPECT_NE(run.result_json.find("\"timeline\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- TraceClock
+
+TEST(TraceClockTest, MonotoneSinceStableAnchor) {
+  const uint64_t anchor = obs::TraceClock::UnixAnchorNs();
+  EXPECT_EQ(obs::TraceClock::UnixAnchorNs(), anchor);
+  // Anchored after 2020-01-01 (unix 1577836800s): catches an uninitialized
+  // or steady-clock-valued anchor without assuming anything about "now".
+  EXPECT_GT(anchor, 1577836800ull * 1000000000ull);
+
+  uint64_t prev = obs::TraceClock::NowNs();
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t now = obs::TraceClock::NowNs();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  EXPECT_EQ(obs::TraceClock::UnixAnchorNs(), anchor);
+}
+
+// ----------------------------------------------------------- FlightRecorder
+
+TEST(FlightRecorderTest, KeepsEverythingBelowCapacity) {
+  obs::FlightRecorder flight(4);
+  flight.Record(10, "node", "start");
+  flight.Record(20, "wire", "send", 3, 9);
+  flight.Record(30, "fault", "delayed", 1);
+  EXPECT_EQ(flight.capacity(), 4u);
+  EXPECT_EQ(flight.recorded(), 3u);
+
+  std::vector<obs::FlightEvent> events = flight.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].t_ns, 10u);
+  EXPECT_STREQ(events[0].name, "start");
+  EXPECT_EQ(events[1].t_ns, 20u);
+  EXPECT_DOUBLE_EQ(events[1].a, 3.0);
+  EXPECT_DOUBLE_EQ(events[1].b, 9.0);
+  EXPECT_EQ(events[2].t_ns, 30u);
+}
+
+TEST(FlightRecorderTest, WrapsKeepingTheNewestOldestFirst) {
+  obs::FlightRecorder flight(4);
+  for (uint64_t i = 0; i < 10; ++i) flight.Record(i, "cat", "tick", double(i));
+  EXPECT_EQ(flight.recorded(), 10u);
+
+  std::vector<obs::FlightEvent> events = flight.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].t_ns, 6u + i) << "slot " << i;
+    EXPECT_DOUBLE_EQ(events[i].a, 6.0 + double(i));
+  }
+}
+
+TEST(FlightRecorderTest, DumpNamesOwnerAndKeptCounts) {
+  obs::FlightRecorder flight(2);
+  flight.Record(1500000, "node", "start");
+  flight.Record(2500000, "fault", "dropped", 7);
+  flight.Record(3500000, "node", "stop");
+
+  std::ostringstream out;
+  flight.Dump(out, "node g0/n1");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("--- flight recorder node g0/n1: kept 2 of 3 events"),
+            std::string::npos);
+  // The wrapped-away "start" event must be gone; the survivors print
+  // oldest-first with millisecond timestamps and both payload slots.
+  EXPECT_EQ(text.find("node/start"), std::string::npos);
+  const size_t dropped = text.find("fault/dropped a=7 b=0");
+  const size_t stop = text.find("node/stop");
+  ASSERT_NE(dropped, std::string::npos);
+  ASSERT_NE(stop, std::string::npos);
+  EXPECT_LT(dropped, stop);
+  EXPECT_NE(text.find("2.500 ms"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, ClearForgetsHistory) {
+  obs::FlightRecorder flight(4);
+  for (uint64_t i = 0; i < 6; ++i) flight.Record(i, "cat", "tick");
+  flight.Clear();
+  EXPECT_EQ(flight.recorded(), 0u);
+  EXPECT_TRUE(flight.Snapshot().empty());
+  // The ring is reusable after Clear.
+  flight.Record(99, "cat", "tick");
+  ASSERT_EQ(flight.Snapshot().size(), 1u);
+  EXPECT_EQ(flight.Snapshot()[0].t_ns, 99u);
+}
+
+// --------------------------------------------------------------- Prometheus
+
+TEST(PrometheusTest, NameMapsSlashesAndBadCharsToUnderscores) {
+  EXPECT_EQ(obs::PrometheusName("net/wan_bytes_sent"),
+            "massbft_net_wan_bytes_sent");
+  EXPECT_EQ(obs::PrometheusName("phase/local_consensus_ms"),
+            "massbft_phase_local_consensus_ms");
+  EXPECT_EQ(obs::PrometheusName("a-b.c/d"), "massbft_a_b_c_d");
+}
+
+/// Counts non-overlapping occurrences of `needle` in `text`.
+size_t CountOccurrences(const std::string& text, const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+std::vector<obs::LabeledSnapshot> TwoNodeSnapshots() {
+  obs::MetricsRegistry a;
+  a.GetCounter("net/frames")->Add(3);
+  a.GetGauge("queue/depth")->Set(2.5);
+  obs::Histogram* ha = a.GetHistogram("phase/exec_ms");
+  for (double v : {1.0, 2.0, 3.0, 4.0}) ha->Record(v);
+
+  obs::MetricsRegistry b;
+  b.GetCounter("net/frames")->Add(5);
+  b.GetGauge("queue/depth")->Set(0.0);
+  b.GetHistogram("phase/exec_ms")->Record(10.0);
+
+  std::vector<obs::LabeledSnapshot> snapshots;
+  snapshots.push_back({"node=\"g0/n0\"", a.Snapshot()});
+  snapshots.push_back({"node=\"g0/n1\"", b.Snapshot()});
+  return snapshots;
+}
+
+TEST(PrometheusTest, GroupsTypeHeadersAcrossLabeledSnapshots) {
+  std::ostringstream out;
+  obs::WritePrometheusText(TwoNodeSnapshots(), out);
+  const std::string text = out.str();
+
+  // One # TYPE line per metric even though two nodes expose each series.
+  EXPECT_EQ(CountOccurrences(text, "# TYPE massbft_net_frames counter"), 1u);
+  EXPECT_EQ(CountOccurrences(text, "# TYPE massbft_queue_depth gauge"), 1u);
+  EXPECT_EQ(CountOccurrences(text, "# TYPE massbft_phase_exec_ms summary"),
+            1u);
+
+  // Counters and gauges carry the node label verbatim.
+  EXPECT_NE(text.find("massbft_net_frames{node=\"g0/n0\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("massbft_net_frames{node=\"g0/n1\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("massbft_queue_depth{node=\"g0/n0\"} 2.5\n"),
+            std::string::npos);
+
+  // Histograms expose as summaries: two quantiles plus _sum and _count.
+  EXPECT_NE(
+      text.find("massbft_phase_exec_ms{node=\"g0/n0\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("massbft_phase_exec_ms{node=\"g0/n0\",quantile=\"0.99\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("massbft_phase_exec_ms_sum{node=\"g0/n0\"} 10\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("massbft_phase_exec_ms_count{node=\"g0/n0\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("massbft_phase_exec_ms_count{node=\"g0/n1\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, EmptyLabelsOmitBracesAndOutputIsDeterministic) {
+  obs::MetricsRegistry reg;
+  reg.GetCounter("commit/txns")->Add(42);
+  std::vector<obs::LabeledSnapshot> snapshots;
+  snapshots.push_back({"", reg.Snapshot()});
+
+  std::ostringstream first;
+  obs::WritePrometheusText(snapshots, first);
+  EXPECT_NE(first.str().find("massbft_commit_txns 42\n"), std::string::npos);
+
+  std::ostringstream again;
+  obs::WritePrometheusText(snapshots, again);
+  EXPECT_EQ(first.str(), again.str());
+
+  std::ostringstream two_nodes_a;
+  obs::WritePrometheusText(TwoNodeSnapshots(), two_nodes_a);
+  std::ostringstream two_nodes_b;
+  obs::WritePrometheusText(TwoNodeSnapshots(), two_nodes_b);
+  EXPECT_EQ(two_nodes_a.str(), two_nodes_b.str());
+}
+
+// ------------------------------------------------------- ClusterTraceMerger
+
+/// Two synthetic nodes: the origin (packed 0) encodes an entry; the
+/// receiver (packed 65536 = g1/n0) records the wire/recv instant whose
+/// trace-context args pin the flow arrow. Timestamps are hand-picked so
+/// every merged value is exact in the output.
+void BuildTwoNodeMerge(obs::ClusterTraceMerger& merger) {
+  obs::TraceRecorder origin;
+  origin.set_enabled(true);
+  origin.RegisterTrack(0, "consensus");
+  origin.RecordSpan(0, "phase", "local_consensus", 1000000, 2000000,
+                    obs::TraceArgs{{{"gid", 3.0}, {"seq", 9.0}}});
+
+  obs::TraceRecorder receiver;
+  receiver.set_enabled(true);
+  receiver.RegisterTrack(65536, "consensus");
+  // Node-relative 500us; the node started 1ms after the process epoch, so
+  // the shared-axis delivery time is 1.5ms. origin_ts (1.2ms) is already on
+  // the shared axis — it was stamped with TraceClock::NowNs at encode time.
+  receiver.RecordInstant(65536, "wire", "recv", 500000,
+                         obs::TraceArgs{{{"gid", 3.0},
+                                         {"seq", 9.0},
+                                         {"origin", 0.0},
+                                         {"origin_ts", 1200000.0}}});
+
+  merger.set_unix_anchor_ns(1700000000000000000ull);
+  merger.AddNode(0, "node g0/n0", 0, origin);
+  merger.AddNode(65536, "node g1/n0", 1000000, receiver);
+}
+
+TEST(ClusterTraceMergerTest, MergesNodesOntoSharedAxisWithFlowArrows) {
+  obs::ClusterTraceMerger merger;
+  BuildTwoNodeMerge(merger);
+  EXPECT_EQ(merger.node_count(), 2u);
+
+  std::ostringstream out;
+  merger.WriteChromeTrace(out);
+  const std::string doc = out.str();
+  EXPECT_TRUE(IsValidJson(doc));
+
+  // The injected anchor and node count land in otherData.
+  EXPECT_NE(doc.find("\"trace_unix_anchor_ns\":1700000000000000000"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"node_count\":2"), std::string::npos);
+
+  // One Chrome process per node: pid = packed id + 1, named and sorted.
+  EXPECT_NE(doc.find("\"name\":\"node g0/n0\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"node g1/n0\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(doc, "\"name\":\"process_name\""), 2u);
+
+  // Origin span keeps its own timebase (offset 0): ts 1000us, dur 1000us.
+  EXPECT_NE(doc.find("\"name\":\"local_consensus\",\"cat\":\"phase\","
+                     "\"ph\":\"X\",\"ts\":1000,\"dur\":1000,"
+                     "\"pid\":1,\"tid\":0"),
+            std::string::npos);
+  // Receiver instant is shifted by its 1ms epoch offset: 500us -> 1500us.
+  EXPECT_NE(doc.find("\"ph\":\"i\",\"s\":\"t\",\"ts\":1500,\"pid\":65537"),
+            std::string::npos);
+
+  // The recv instant pins one flow arrow: start on the origin's track at
+  // origin_ts, finish on the receiving track at delivery.
+  EXPECT_NE(doc.find("\"name\":\"entry\",\"cat\":\"wire\",\"ph\":\"s\","
+                     "\"id\":1,\"pid\":1,\"tid\":0,\"ts\":1200,"
+                     "\"args\":{\"gid\":3,\"seq\":9}"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"entry\",\"cat\":\"wire\",\"ph\":\"f\","
+                     "\"bp\":\"e\",\"id\":1,\"pid\":65537,\"tid\":65536,"
+                     "\"ts\":1500"),
+            std::string::npos);
+}
+
+TEST(ClusterTraceMergerTest, OutputIsByteStableAcrossRenders) {
+  obs::ClusterTraceMerger merger;
+  BuildTwoNodeMerge(merger);
+  std::ostringstream first;
+  merger.WriteChromeTrace(first);
+  std::ostringstream again;
+  merger.WriteChromeTrace(again);
+  EXPECT_EQ(first.str(), again.str());
+  EXPECT_FALSE(first.str().empty());
+}
+
+TEST(ClusterTraceMergerTest, SkipsFlowsWhoseOriginTraceIsMissing) {
+  obs::TraceRecorder receiver;
+  receiver.set_enabled(true);
+  receiver.RegisterTrack(1, "consensus");
+  // origin 327680 (g5/n0) was never merged in; the arrow has no start
+  // track, so no flow events may be emitted.
+  receiver.RecordInstant(1, "wire", "recv", 1000,
+                         obs::TraceArgs{{{"gid", 0.0},
+                                         {"seq", 1.0},
+                                         {"origin", 327680.0},
+                                         {"origin_ts", 500.0}}});
+  obs::ClusterTraceMerger merger;
+  merger.AddNode(1, "node g0/n1", 0, receiver);
+
+  std::ostringstream out;
+  merger.WriteChromeTrace(out);
+  EXPECT_TRUE(IsValidJson(out.str()));
+  EXPECT_NE(out.str().find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"ph\":\"f\""), std::string::npos);
+}
+
+TEST(ClusterTraceMergerTest, ClampsArrowsThatWouldPointBackwards) {
+  // Delivery lands on the shared axis *before* the stamped send time (the
+  // send stamp is taken before the frame hits the socket, so a fast local
+  // loop can deliver "early"). The finish must clamp to the send time.
+  obs::TraceRecorder origin;
+  origin.set_enabled(true);
+  origin.RegisterTrack(0, "consensus");
+  obs::TraceRecorder receiver;
+  receiver.set_enabled(true);
+  receiver.RegisterTrack(65536, "consensus");
+  receiver.RecordInstant(65536, "wire", "recv", 1500000,
+                         obs::TraceArgs{{{"gid", 0.0},
+                                         {"seq", 1.0},
+                                         {"origin", 0.0},
+                                         {"origin_ts", 2000000.0}}});
+  obs::ClusterTraceMerger merger;
+  merger.AddNode(0, "node g0/n0", 0, origin);
+  merger.AddNode(65536, "node g1/n0", 0, receiver);
+
+  std::ostringstream out;
+  merger.WriteChromeTrace(out);
+  const std::string doc = out.str();
+  EXPECT_NE(doc.find("\"ph\":\"s\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":2000"),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"pid\":65537,"
+                     "\"tid\":65536,\"ts\":2000"),
+            std::string::npos);
+}
+
+// -------------------------------------------------------------- StatsServer
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port`; returns the whole
+/// response (head + body) or "" on connect failure.
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+    response.append(buf, static_cast<size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST(StatsServerTest, ServesHandlersOnEphemeralPort) {
+  obs::StatsServer server;
+  server.RegisterHandler("/metrics", [] {
+    obs::StatsServer::Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = "# TYPE massbft_up gauge\nmassbft_up 1\n";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string ok = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(ok.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(ok.find("massbft_up 1\n"), std::string::npos);
+
+  // Query strings are stripped before handler lookup.
+  const std::string with_query = HttpGet(server.port(), "/metrics?x=1");
+  EXPECT_NE(with_query.find("HTTP/1.0 200 OK"), std::string::npos);
+
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404 Not Found"), std::string::npos);
+
+  // A second Start while running must refuse rather than rebind.
+  EXPECT_FALSE(server.Start(0).ok());
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // Idempotent.
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(StatsServerTest, ConcurrentScrapesSeeConsistentResponses) {
+  obs::StatsServer server;
+  server.RegisterHandler("/health", [] {
+    obs::StatsServer::Response response;
+    response.content_type = "application/json";
+    response.body = "{\"ok\":true}";
+    return response;
+  });
+  ASSERT_TRUE(server.Start(0).ok());
+  // Sequential scrapes through the single-threaded accept loop: each must
+  // get a complete, framed response.
+  for (int i = 0; i < 5; ++i) {
+    const std::string response = HttpGet(server.port(), "/health");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("Content-Length: 11"), std::string::npos);
+    EXPECT_NE(response.find("{\"ok\":true}"), std::string::npos);
+  }
+  server.Stop();
 }
 
 }  // namespace

@@ -154,12 +154,15 @@ TEST_F(CertificateTest, EncodeDecodeRoundTrip) {
 
 // ---------------------------------------------------------- Message sizes
 
-// ByteSize() must equal frame overhead plus the real encoded body — the
-// encoder is the single source of truth for link accounting.
+// ByteSize() must equal frame overhead plus the real encoded body (plus
+// the wire trace context for entry-carrying types) — the encoder is the
+// single source of truth for link accounting.
 size_t EncodedSize(const ProtocolMessage& msg) {
   BinaryWriter w;
   msg.EncodeBodyTo(&w);
-  return kFrameOverheadBytes + w.size();
+  return kFrameOverheadBytes +
+         (CarriesTraceContext(msg.message_type()) ? kTraceContextBytes : 0) +
+         w.size();
 }
 
 TEST(MessageSizeTest, EnvelopeAddedToEveryMessage) {
@@ -177,8 +180,9 @@ TEST(MessageSizeTest, EntryTransferCarriesEntryAndCert) {
   Certificate cert;
   cert.sigs.resize(5);
   EntryTransferMsg msg(entry, cert);
-  // The entry rides as a length-prefixed blob of its canonical encoding.
-  EXPECT_EQ(msg.ByteSize(), kFrameOverheadBytes +
+  // The entry rides as a length-prefixed blob of its canonical encoding;
+  // entry-carrying frames also attach the wire trace context.
+  EXPECT_EQ(msg.ByteSize(), kFrameOverheadBytes + kTraceContextBytes +
                                 VarintSize(entry->ByteSize()) +
                                 entry->ByteSize() + cert.ByteSize());
   EXPECT_EQ(msg.ByteSize(), EncodedSize(msg));
@@ -194,8 +198,9 @@ TEST(MessageSizeTest, ChunkBatchAccountsChunksProofsAndCert) {
   Certificate cert;
   cert.sigs.resize(5);
   ChunkBatchMsg msg(0, 1, Digest{}, cert, {chunk}, 13000);
-  size_t expected = kFrameOverheadBytes + 2 + 8 + 32 + 8 + cert.ByteSize() +
-                    /*chunk count varint*/ 1 + chunk.ByteSize();
+  size_t expected = kFrameOverheadBytes + kTraceContextBytes + 2 + 8 + 32 + 8 +
+                    cert.ByteSize() + /*chunk count varint*/ 1 +
+                    chunk.ByteSize();
   EXPECT_EQ(chunk.ByteSize(), 4 + 2 + 1000 + chunk.proof.ByteSize());
   EXPECT_EQ(msg.ByteSize(), expected);
   EXPECT_EQ(msg.ByteSize(), EncodedSize(msg));

@@ -66,10 +66,20 @@ RULES = {
 #     binds everywhere under src/.
 #
 # Every src/ directory must appear here so a new subsystem makes its
-# determinism contract explicit.
+# determinism contract explicit. Entries are matched first-wins and may
+# also name a single file stem (path without extension, covering the .h/.cc
+# pair): src/obs is deterministic as a whole, but its two wall-clock
+# bridges — the process trace clock and the stats server — exist to touch
+# the OS and are exempted *here*, by policy, instead of accreting per-line
+# suppressions.
 DIR_POLICY = [
-    # (dir prefix, D1 wallclock binds, D2 unordered-iter binds)
+    # (dir prefix or file stem, D1 wallclock binds, D2 unordered-iter binds)
     ("src/common",      True,  False),
+    # Real-time bridges inside the otherwise-deterministic obs layer: the
+    # wall-clock anchor every real-mode trace hangs off, and the localhost
+    # introspection server (sockets + poll timeouts).
+    ("src/obs/trace_clock",   False, False),
+    ("src/obs/stats_server",  False, False),
     ("src/obs",         True,  False),
     ("src/consensus",   True,  True),
     ("src/ordering",    True,  True),
@@ -88,9 +98,13 @@ DIR_POLICY = [
 
 
 def dir_policy(relpath):
-    """(d1_binds, d2_binds) for a path; rules off outside listed dirs."""
+    """(d1_binds, d2_binds) for a path; rules off outside listed dirs.
+    First matching entry wins: a file-stem entry (matching the path with
+    its extension stripped) must precede its directory's entry."""
+    stem = os.path.splitext(relpath)[0]
     for prefix, d1, d2 in DIR_POLICY:
-        if relpath == prefix or relpath.startswith(prefix + "/"):
+        if relpath == prefix or stem == prefix or \
+           relpath.startswith(prefix + "/"):
             return d1, d2
     return False, False
 SCAN_DIRS = ("src", "bench", "tests")

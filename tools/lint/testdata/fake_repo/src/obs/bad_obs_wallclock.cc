@@ -1,0 +1,15 @@
+// Fixture: the src/obs directory entry still binds D1 for files without a
+// stem exemption — this neighbor of stats_server.cc must fire.
+#include <chrono>
+
+namespace massbft {
+namespace obs {
+
+long ObsNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace massbft

@@ -1,0 +1,23 @@
+// Fixture: file-stem DIR_POLICY entry. src/obs is D1-enforced, but the
+// stats server is a real-time bridge exempted by the src/obs/stats_server
+// stem entry — its wall-clock use must NOT fire, with no suppression.
+#include <chrono>
+
+namespace massbft {
+namespace obs {
+
+long UptimeMs() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+long WallNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace obs
+}  // namespace massbft

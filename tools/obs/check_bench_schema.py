@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validates a perf-baseline document written by WriteBenchBaselineFile
+(core/bench_baseline.h): the schema the checked-in BENCH_real_cluster.json
+trajectory and every --bench-out / --baseline export must follow. Stdlib
+only; used by the CI observability leg and runnable by hand:
+
+    python3 tools/obs/check_bench_schema.py BENCH_real_cluster.json [more...]
+
+Exit code 0 iff every file passes; findings go to stdout.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+HOST_FIELDS = {
+    "sysname": str,
+    "release": str,
+    "machine": str,
+    "hardware_concurrency": int,
+}
+
+# The ExperimentResult::ToJson() surface a baseline must carry. Numbers may
+# render as int or float; bool is excluded explicitly (bool is an int
+# subclass in Python).
+RESULT_NUMBER_FIELDS = (
+    "throughput_tps", "mean_latency_ms", "p50_latency_ms", "p99_latency_ms",
+    "committed_txns", "aborted_txns", "total_wan_bytes", "total_lan_bytes",
+    "wan_bytes_per_entry", "wall_ms",
+)
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return "cannot load: %s" % e
+
+    if not isinstance(doc, dict):
+        return "top level must be an object"
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        return "schema_version must be %d, got %r" % (
+            SCHEMA_VERSION, doc.get("schema_version"))
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return "bench must be a non-empty string"
+
+    host = doc.get("host")
+    if not isinstance(host, dict):
+        return "host must be an object"
+    for field, kind in HOST_FIELDS.items():
+        if not isinstance(host.get(field), kind):
+            return "host.%s must be %s, got %r" % (
+                field, kind.__name__, host.get(field))
+
+    result = doc.get("result")
+    if not isinstance(result, dict):
+        return "result must be an object"
+    if not isinstance(result.get("mode"), str):
+        return "result.mode must be a string"
+    for field in RESULT_NUMBER_FIELDS:
+        if not is_number(result.get(field)):
+            return "result.%s must be a number, got %r" % (
+                field, result.get(field))
+    if result["committed_txns"] < 0 or result["throughput_tps"] < 0:
+        return "negative throughput/commit count"
+    if not isinstance(result.get("phases"), dict):
+        return "result.phases must be an object (Fig 11 phase sums)"
+    if not isinstance(result.get("timeline"), list):
+        return "result.timeline must be an array"
+    return None
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_schema.py BENCH.json [more...]")
+        return 2
+    bad = 0
+    for path in argv[1:]:
+        err = check(path)
+        if err:
+            print("check_bench_schema: FAIL: %s: %s" % (path, err))
+            bad += 1
+        else:
+            print("check_bench_schema: OK: %s" % path)
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validates a merged cluster trace produced by ClusterTraceMerger
+(DESIGN.md §14): structure, per-node Chrome processes, and — the point of
+the whole exercise — cross-node flow arrows proving one entry's spans land
+on multiple node tracks. Stdlib only; used by the CI observability leg and
+runnable by hand:
+
+    python3 tools/obs/check_trace.py trace.json [--min-cross-node-flows N]
+
+Exit code 0 iff every check passes; findings go to stdout.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("trace", help="merged Chrome trace JSON")
+    parser.add_argument("--min-cross-node-flows", type=int, default=1,
+                        help="minimum flow arrows whose start and finish "
+                             "sit on different node processes (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return fail("cannot load %s: %s" % (args.trace, e))
+
+    # --- Document envelope -------------------------------------------------
+    if not isinstance(doc, dict):
+        return fail("top level must be an object")
+    for key in ("displayTimeUnit", "otherData", "traceEvents"):
+        if key not in doc:
+            return fail("missing top-level key %r" % key)
+    other = doc["otherData"]
+    if not isinstance(other.get("trace_unix_anchor_ns"), int) or \
+            other["trace_unix_anchor_ns"] <= 0:
+        return fail("otherData.trace_unix_anchor_ns must be a positive int")
+    node_count = other.get("node_count")
+    if not isinstance(node_count, int) or node_count < 1:
+        return fail("otherData.node_count must be a positive int")
+
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        return fail("traceEvents must be a non-empty array")
+
+    # --- Processes: one named Chrome process per node ----------------------
+    process_names = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            process_names[e["pid"]] = e["args"]["name"]
+    if len(process_names) != node_count:
+        return fail("found %d process_name records, node_count says %d" %
+                    (len(process_names), node_count))
+    if 0 in process_names:
+        return fail("pid 0 used (merger promises pid = packed id + 1)")
+
+    # --- Events reference declared processes, timestamps are sane ----------
+    phase_counts = {}
+    for e in events:
+        ph = e.get("ph")
+        if ph is None:
+            return fail("event without ph: %r" % (e,))
+        phase_counts[ph] = phase_counts.get(ph, 0) + 1
+        if ph in ("X", "i", "C", "s", "f") and e.get("pid") \
+                not in process_names:
+            return fail("event on undeclared pid %r: %r" % (e.get("pid"), e))
+        if ph == "X" and e.get("dur", 0) < 0:
+            return fail("span with negative duration: %r" % (e,))
+
+    # --- Flow arrows: every start has a finish, none point backwards ------
+    starts, finishes = {}, {}
+    for e in events:
+        if e.get("ph") == "s":
+            if e["id"] in starts:
+                return fail("duplicate flow start id %r" % e["id"])
+            starts[e["id"]] = e
+        elif e.get("ph") == "f":
+            if e["id"] in finishes:
+                return fail("duplicate flow finish id %r" % e["id"])
+            finishes[e["id"]] = e
+    if set(starts) != set(finishes):
+        return fail("unpaired flow events: %d starts vs %d finishes" %
+                    (len(starts), len(finishes)))
+    cross_node = 0
+    for fid, s in starts.items():
+        fin = finishes[fid]
+        if fin["ts"] < s["ts"]:
+            return fail("flow %r points backwards in time "
+                        "(start ts %r > finish ts %r)" %
+                        (fid, s["ts"], fin["ts"]))
+        if s["pid"] != fin["pid"]:
+            cross_node += 1
+    if cross_node < args.min_cross_node_flows:
+        return fail("only %d cross-node flow arrows (need >= %d): the "
+                    "merged trace does not show entries crossing nodes" %
+                    (cross_node, args.min_cross_node_flows))
+
+    print("check_trace: OK: %d nodes, %s events (%s), %d flows "
+          "(%d cross-node)" %
+          (node_count, len(events),
+           ", ".join("%s=%d" % kv for kv in sorted(phase_counts.items())),
+           len(starts), cross_node))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
