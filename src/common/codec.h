@@ -28,6 +28,13 @@ class BinaryWriter {
  public:
   BinaryWriter() = default;
   explicit BinaryWriter(size_t reserve) { buf_.reserve(reserve); }
+  /// Adopts an existing buffer, clearing its contents but keeping its
+  /// capacity — the allocation-free encode path: a pooled buffer goes in,
+  /// Release() hands it back grown at most once, and after a few frames of
+  /// warm-up the capacity fits every recurring message size.
+  explicit BinaryWriter(Bytes&& adopt) : buf_(std::move(adopt)) {
+    buf_.clear();
+  }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU16(uint16_t v) { PutLE(v, 2); }
@@ -56,6 +63,16 @@ class BinaryWriter {
   /// Raw bytes, no length prefix (fixed-size fields like digests).
   void PutRaw(const uint8_t* data, size_t len) {
     buf_.insert(buf_.end(), data, data + len);
+  }
+
+  /// Overwrites 4 already-written bytes at `offset` (little-endian).
+  /// For frame fields whose value is only known after the payload is
+  /// appended (body length, CRC) — the single-pass encoder writes a
+  /// placeholder, appends, then patches.
+  void PatchU32(size_t offset, uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_[offset + static_cast<size_t>(i)] =
+          static_cast<uint8_t>(v >> (8 * i));
   }
 
   size_t size() const { return buf_.size(); }

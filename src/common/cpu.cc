@@ -3,6 +3,13 @@
 #include <cctype>
 #include <cstdlib>
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
 namespace massbft {
 
 const CpuFeatures& GetCpuFeatures() {
@@ -13,6 +20,9 @@ const CpuFeatures& GetCpuFeatures() {
     f.ssse3 = __builtin_cpu_supports("ssse3") != 0;
     f.avx2 = __builtin_cpu_supports("avx2") != 0;
     f.sha_ni = __builtin_cpu_supports("sha") != 0;
+    f.pclmul = __builtin_cpu_supports("pclmul") != 0;
+#elif defined(__aarch64__) && defined(__linux__)
+    f.arm_crc32 = (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
 #endif
     return f;
   }();

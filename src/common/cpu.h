@@ -5,13 +5,18 @@
 
 namespace massbft {
 
-/// Runtime CPU capabilities relevant to the hot kernels (GF(2^8) coding and
-/// SHA-256). All false on non-x86 builds, where only the portable scalar
-/// paths exist.
+/// Runtime CPU capabilities relevant to the hot kernels (GF(2^8) coding,
+/// SHA-256 and the CRC-32 frame checksum). The x86 flags are false on
+/// other architectures and vice versa; portable scalar paths exist
+/// everywhere.
 struct CpuFeatures {
   bool ssse3 = false;
   bool avx2 = false;
   bool sha_ni = false;
+  /// x86 carry-less multiply (PCLMULQDQ) — CRC-32 folding.
+  bool pclmul = false;
+  /// ARMv8 CRC32 extension (__crc32b/h/w/d).
+  bool arm_crc32 = false;
 };
 
 /// Detected features of the running CPU (detection runs once).

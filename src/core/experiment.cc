@@ -48,6 +48,8 @@ std::string ExperimentResult::ToJson() const {
   w.Member("net_decode_errors", net_decode_errors);
   w.Member("net_reconnects", net_reconnects);
   w.Member("net_dropped_backpressure", net_dropped_backpressure);
+  w.Member("net_send_syscalls", net_send_syscalls);
+  w.Member("net_recv_syscalls", net_recv_syscalls);
   w.Member("faults_injected", faults_injected);
   w.Member("nodes_killed", nodes_killed);
   w.Key("phases");

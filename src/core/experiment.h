@@ -95,6 +95,10 @@ struct ExperimentResult {
   uint64_t net_decode_errors = 0;
   uint64_t net_reconnects = 0;
   uint64_t net_dropped_backpressure = 0;
+  /// Kernel round-trips the batched wire path actually paid (DESIGN.md
+  /// §15): far below the frame count when sendmsg coalescing is working.
+  uint64_t net_send_syscalls = 0;
+  uint64_t net_recv_syscalls = 0;
   /// Frames dropped/duplicated/corrupted/delayed by the fault-injection
   /// layer (real mode with a FaultSpec; see net/fault_transport.h).
   uint64_t faults_injected = 0;

@@ -1,0 +1,62 @@
+#include "net/buffer_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace massbft {
+
+Bytes BufferPool::Acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.outstanding++;
+  if (free_.empty()) {
+    stats_.allocations++;
+    return Bytes();
+  }
+  stats_.reuses++;
+  Bytes buf = std::move(free_.back());
+  free_.pop_back();
+  retained_bytes_ -= buf.capacity();
+  buf.clear();  // Keeps capacity.
+  return buf;
+}
+
+void BufferPool::Release(Bytes buf) {
+  if (options_.poison)
+    std::fill(buf.begin(), buf.end(), kPoisonByte);
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleaseLocked(std::move(buf));
+}
+
+void BufferPool::ReleaseAll(std::vector<Bytes>* bufs) {
+  if (options_.poison)
+    for (Bytes& buf : *bufs) std::fill(buf.begin(), buf.end(), kPoisonByte);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Bytes& buf : *bufs) ReleaseLocked(std::move(buf));
+  }
+  bufs->clear();
+}
+
+void BufferPool::ReleaseLocked(Bytes buf) {
+  stats_.outstanding--;
+  if (buf.capacity() > options_.max_retained_capacity ||
+      free_.size() >= options_.max_free_buffers ||
+      retained_bytes_ + buf.capacity() > options_.max_retained_total_bytes) {
+    stats_.discarded++;
+    return;  // `buf` frees on scope exit.
+  }
+  retained_bytes_ += buf.capacity();
+  free_.push_back(std::move(buf));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BufferPool& WireBufferPool() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace massbft

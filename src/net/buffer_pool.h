@@ -1,0 +1,98 @@
+#ifndef MASSBFT_NET_BUFFER_POOL_H_
+#define MASSBFT_NET_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace massbft {
+
+/// Recycles the byte buffers frames are encoded into, so the steady-state
+/// send path performs zero heap allocations per frame (DESIGN.md §15).
+///
+/// Ownership protocol: Acquire() hands out an empty buffer whose capacity
+/// survives recycling; the caller encodes into it, the transport queues it,
+/// and once the kernel has accepted the bytes (or the frame is dropped) the
+/// buffer is Release()d back. A released buffer must never be touched again
+/// by the releasing code path — with `poison` set, Release overwrites the
+/// contents so a stale reader sees garbage instead of silently reading a
+/// recycled frame (the reuse-after-recycle tests run this mode under
+/// ASan/TSan).
+///
+/// Buffers above `max_retained_capacity` are dropped on release instead of
+/// pooled: one multi-megabyte entry transfer must not pin its slab forever.
+/// The free list is bounded by `max_free_buffers`; beyond it, released
+/// buffers are freed (a burst should not become a permanent high-water
+/// mark).
+///
+/// Thread-safe; acquire/release is a bounded-time push/pop under one lock.
+class BufferPool {
+ public:
+  struct Options {
+    /// Deep enough to absorb the sender/writer oscillation on a
+    /// single-core host, where one scheduling quantum can enqueue
+    /// thousands of frames before the writer runs and releases them.
+    size_t max_free_buffers = 8192;
+    size_t max_retained_capacity = 1 << 20;  // 1 MiB per buffer
+    /// Total capacity the free list may pin; releases past it are freed.
+    size_t max_retained_total_bytes = 64 << 20;  // 64 MiB
+    /// Fill released buffers with kPoisonByte (tests; costs a memset).
+    bool poison = false;
+  };
+
+  struct Stats {
+    /// Acquires that had to heap-allocate a fresh buffer (empty free
+    /// list). Flat in steady state — the zero-alloc-per-frame assertion.
+    uint64_t allocations = 0;
+    /// Acquires served from the free list.
+    uint64_t reuses = 0;
+    /// Buffers handed out and not yet released.
+    uint64_t outstanding = 0;
+    /// Releases that freed the buffer instead of pooling it (oversize or
+    /// free list full).
+    uint64_t discarded = 0;
+  };
+
+  static constexpr uint8_t kPoisonByte = 0xDB;
+
+  BufferPool() : BufferPool(Options{}) {}
+  explicit BufferPool(Options options) : options_(options) {}
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer (size 0, capacity from a previous life when
+  /// the free list has one).
+  [[nodiscard]] Bytes Acquire();
+
+  /// Returns `buf` to the pool. Call exactly once per Acquire, after the
+  /// last read of the contents.
+  void Release(Bytes buf);
+
+  /// Returns every buffer in `bufs` under one lock and clears the vector
+  /// — the batched writer recycles a whole sendmsg batch this way instead
+  /// of paying a lock per frame.
+  void ReleaseAll(std::vector<Bytes>* bufs);
+
+  Stats stats() const;
+
+ private:
+  void ReleaseLocked(Bytes buf);
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::vector<Bytes> free_;
+  size_t retained_bytes_ = 0;  // Sum of free_ capacities.
+  Stats stats_;
+};
+
+/// The process-wide pool the wire layer encodes frames from. One pool per
+/// process, not per transport: an in-process cluster runs many endpoints,
+/// and sharing lets a node's release feed another's acquire.
+BufferPool& WireBufferPool();
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_BUFFER_POOL_H_

@@ -8,12 +8,44 @@
 
 namespace massbft {
 
+namespace internal_crc32 {
+
+/// The crc32 update kernels, exposed so the property tests can cross-check
+/// every fast path against the portable oracle on identical inputs. Each
+/// takes the running (non-complemented) state and returns the new state.
+///
+/// UpdateScalarTable is the byte-at-a-time table implementation — the
+/// scalar oracle the slice-by-8 and hardware kernels are validated
+/// against. UpdateSlice8 is the portable fast path (eight table lookups
+/// per 8-byte step). The hardware kernels fold with PCLMULQDQ on x86
+/// (SSE4.2's crc32 instruction computes CRC-32C, the wrong polynomial for
+/// this frame format) and with the ARMv8 CRC32 extension on aarch64; both
+/// delegate short inputs and tails to the slice-by-8 kernel.
+uint32_t UpdateScalarTable(uint32_t state, const uint8_t* data, size_t len);
+uint32_t UpdateSlice8(uint32_t state, const uint8_t* data, size_t len);
+#if defined(__x86_64__)
+uint32_t UpdatePclmul(uint32_t state, const uint8_t* data, size_t len);
+#endif
+#if defined(__aarch64__)
+uint32_t UpdateArmv8(uint32_t state, const uint8_t* data, size_t len);
+#endif
+
+}  // namespace internal_crc32
+
 /// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used as
 /// the wire frame checksum. Catches corruption that slips past TCP's weak
 /// 16-bit checksum; it is not a cryptographic integrity check — signatures
 /// and digests provide that at the protocol layer.
+///
+/// The update kernel is selected once per process: PCLMULQDQ folding on
+/// x86 with carry-less multiply, the ARMv8 CRC32 instructions on aarch64,
+/// otherwise portable slice-by-8. MASSBFT_SIMD=scalar forces the
+/// byte-at-a-time oracle (see common/cpu.h); the decision is logged at
+/// first use.
 class Crc32 {
  public:
+  enum class Impl { kScalarTable, kSlice8, kPclmul, kArmv8 };
+
   void Update(const uint8_t* data, size_t len);
   void Update(const Bytes& b) { Update(b.data(), b.size()); }
   uint32_t Finish() const { return ~state_; }
@@ -24,6 +56,10 @@ class Crc32 {
     return crc.Finish();
   }
   static uint32_t Compute(const Bytes& b) { return Compute(b.data(), b.size()); }
+
+  /// The kernel Update dispatches to under the current CPU and override.
+  static Impl ActiveImpl();
+  static const char* ImplName(Impl impl);
 
  private:
   uint32_t state_ = 0xFFFFFFFFu;

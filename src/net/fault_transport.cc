@@ -132,32 +132,30 @@ Status FaultInjectingTransport::Send(NodeId dst, const ProtocolMessage& msg) {
     }
   }
 
+  // Loss is silent, like the network it models — and costs no encode.
+  if (action == Action::kDrop || action == Action::kPartition)
+    return Status::OK();
+
+  // Every surviving action forwards bytes, so encode exactly once; the
+  // duplicate path copies the encoded frame instead of re-encoding.
+  Bytes wire = EncodeFrame(msg, inner_->self());
   switch (action) {
-    case Action::kDrop:
-    case Action::kPartition:
-      // Loss is silent, like the network it models.
-      return Status::OK();
     case Action::kCorrupt: {
-      Bytes wire = EncodeFrame(msg, inner_->self());
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        size_t index = rng_.NextBelow(wire.size());
-        wire[index] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
-      }
-      return ForwardFifo(dst, std::move(wire), 0);
+      std::lock_guard<std::mutex> lock(mu_);
+      size_t index = rng_.NextBelow(wire.size());
+      wire[index] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
+      break;
     }
     case Action::kDuplicate: {
-      Bytes wire = EncodeFrame(msg, inner_->self());
       Bytes copy = wire;
-      MASSBFT_RETURN_IF_ERROR(ForwardFifo(dst, std::move(wire), 0));
-      return ForwardFifo(dst, std::move(copy), 0);
+      MASSBFT_RETURN_IF_ERROR(ForwardFifo(dst, std::move(copy), 0));
+      break;
     }
-    case Action::kDelay:
-      return ForwardFifo(dst, EncodeFrame(msg, inner_->self()), delay_ms);
-    case Action::kPass:
+    default:
       break;
   }
-  return ForwardFifo(dst, EncodeFrame(msg, inner_->self()), 0);
+  return ForwardFifo(dst, std::move(wire),
+                     action == Action::kDelay ? delay_ms : 0);
 }
 
 Status FaultInjectingTransport::ForwardFifo(NodeId dst, Bytes wire,

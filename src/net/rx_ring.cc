@@ -1,0 +1,45 @@
+#include "net/rx_ring.h"
+
+#include <cstring>
+#include <utility>
+
+namespace massbft {
+
+FrameReassembler::FrameReassembler(size_t initial_capacity) {
+  buf_.resize(initial_capacity > 0 ? initial_capacity : 1);
+}
+
+uint8_t* FrameReassembler::WritableData(size_t min_bytes) {
+  if (buf_.size() - end_ < min_bytes) {
+    Compact();
+    if (buf_.size() - end_ < min_bytes) buf_.resize(end_ + min_bytes);
+  }
+  return buf_.data() + end_;
+}
+
+void FrameReassembler::CommitWrite(size_t n) { end_ += n; }
+
+Status FrameReassembler::Drain(std::vector<Frame>* out) {
+  while (end_ - begin_ >= kFrameHeaderBytes) {
+    Result<size_t> frame_len = PeekFrameLength(buf_.data() + begin_,
+                                               end_ - begin_);
+    if (!frame_len.ok()) return frame_len.status();
+    if (end_ - begin_ < *frame_len) break;  // Partial frame: wait for more.
+    Result<Frame> frame = DecodeFrame(buf_.data() + begin_, *frame_len);
+    if (!frame.ok()) return frame.status();
+    out->push_back(std::move(*frame));
+    begin_ += *frame_len;
+  }
+  Compact();
+  return Status::OK();
+}
+
+void FrameReassembler::Compact() {
+  if (begin_ == 0) return;
+  const size_t pending = end_ - begin_;
+  if (pending > 0) std::memmove(buf_.data(), buf_.data() + begin_, pending);
+  begin_ = 0;
+  end_ = pending;
+}
+
+}  // namespace massbft

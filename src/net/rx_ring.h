@@ -1,0 +1,62 @@
+#ifndef MASSBFT_NET_RX_RING_H_
+#define MASSBFT_NET_RX_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace massbft {
+
+/// Per-connection receive buffer that turns a TCP byte stream back into
+/// frames without per-read allocation or per-frame front-erase shuffling
+/// (DESIGN.md §15).
+///
+/// The reader loop asks for writable space with WritableData(), recv()s
+/// directly into it, commits the byte count, and calls Drain() once per
+/// wakeup to decode every complete buffered frame. Consumed bytes advance a
+/// read cursor instead of erasing from the front; the at-most-one partial
+/// frame left after a drain is compacted to the buffer start, so the
+/// recurring memmove is bounded by one frame, not by the drained batch.
+///
+/// Frame boundaries come from PeekFrameLength, so a frame split across any
+/// number of recv()s — down to one byte at a time — reassembles exactly.
+class FrameReassembler {
+ public:
+  /// `initial_capacity` sizes the backing store up front; it still grows if
+  /// a single frame is larger.
+  explicit FrameReassembler(size_t initial_capacity = 64 * 1024);
+
+  /// Returns a pointer where at least `min_bytes` may be written. Grows the
+  /// backing store if needed (after compacting pending bytes to the front).
+  uint8_t* WritableData(size_t min_bytes);
+  /// Number of bytes writable at WritableData without another call.
+  size_t WritableBytes() const { return buf_.size() - end_; }
+
+  /// Declares that `n` bytes were written at WritableData().
+  void CommitWrite(size_t n);
+
+  /// Decodes every complete frame currently buffered, appending to `*out`.
+  /// On a framing error (bad magic/version/CRC/body) returns Corruption;
+  /// frames decoded before the bad one are still appended, so the caller
+  /// can deliver them before tearing the connection down.
+  Status Drain(std::vector<Frame>* out);
+
+  /// Bytes buffered but not yet consumed by Drain (a partial frame).
+  size_t PendingBytes() const { return end_ - begin_; }
+
+ private:
+  /// Moves pending bytes to the buffer start, reclaiming consumed space.
+  void Compact();
+
+  Bytes buf_;     // Backing store; size() is capacity in use.
+  size_t begin_ = 0;  // First unconsumed byte.
+  size_t end_ = 0;    // One past the last written byte.
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_NET_RX_RING_H_

@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "net/rx_ring.h"
 #include "net/transport.h"
 
 namespace massbft {
@@ -36,15 +37,20 @@ using TcpPortMap = std::unordered_map<uint32_t, uint16_t>;  // Packed -> port
 ///
 /// Threads:
 ///  * One reader thread polls the listen socket and all accepted
-///    connections; complete frames are decoded and handed to the deliver
-///    callback on that thread.
+///    connections; each wakeup drains a ready socket with large recv()s
+///    into a per-connection FrameReassembler, then decodes and delivers
+///    every complete frame in one batch on that thread.
 ///  * One writer thread owns every outbound connection. Send() only
-///    encodes and enqueues onto a bounded per-peer queue (drop-with-counter
-///    on overflow — BFT protocols tolerate loss, unbounded memory does
-///    not), so a send to a dead peer returns in microseconds. The writer
-///    establishes connections with non-blocking connect() and retries with
-///    exponential backoff plus jitter; queued frames wait for the
-///    connection and flow once it lands.
+///    encodes (into a pooled buffer — see WireBufferPool) and enqueues onto
+///    a bounded per-peer queue (drop-with-counter on overflow — BFT
+///    protocols tolerate loss, unbounded memory does not), so a send to a
+///    dead peer returns in microseconds. The writer coalesces all queued
+///    frames for a peer into bounded scatter-gather sendmsg() batches —
+///    one syscall moves up to kMaxBatchIov frames — resuming correctly
+///    when the kernel accepts a prefix that ends mid-frame. It establishes
+///    connections with non-blocking connect() and retries with exponential
+///    backoff plus jitter; queued frames wait for the connection and flow
+///    once it lands.
 ///
 /// All socket writes use MSG_NOSIGNAL on non-blocking sockets: a peer that
 /// closes mid-write yields an error handled by reconnect, never SIGPIPE.
@@ -88,8 +94,18 @@ class TcpTransport : public Transport {
   using Clock = std::chrono::steady_clock;
 
   struct Conn {
+    explicit Conn(int f) : fd(f) {}
     int fd = -1;
-    Bytes buffer;  // Unconsumed inbound bytes.
+    FrameReassembler rx;  // Unconsumed inbound bytes + frame boundaries.
+  };
+
+  /// One queued outbound frame. `pooled` frames were encoded into a
+  /// WireBufferPool buffer and are Release()d back once the kernel accepts
+  /// the last byte (or the frame is dropped); SendEncoded frames arrive
+  /// from outside the pool and are simply freed.
+  struct QueuedFrame {
+    Bytes wire;
+    bool pooled = false;
   };
 
   /// Outbound state machine for one destination. Owned by the writer
@@ -100,7 +116,7 @@ class TcpTransport : public Transport {
     State state = State::kIdle;
     uint32_t packed = 0;  // Destination NodeId::Packed (for diagnostics).
     int fd = -1;
-    std::deque<Bytes> queue;
+    std::deque<QueuedFrame> queue;
     size_t queued_bytes = 0;
     size_t write_off = 0;  // Bytes of queue.front() already on the wire.
     Clock::time_point next_dial{};  // Earliest next connect attempt.
@@ -110,11 +126,16 @@ class TcpTransport : public Transport {
 
   void IoLoop();
   void WriterLoop();
-  /// Consumes complete frames from `conn.buffer`; returns false when the
-  /// connection must be closed (corrupt stream).
-  bool DrainFrames(Conn& conn);
+  /// Reads the ready socket until EAGAIN (bounded for fairness), decodes
+  /// every complete frame and delivers them in order; returns false when
+  /// the connection must be closed (EOF or corrupt stream).
+  bool ReadAndDeliver(Conn& conn);
 
   Peer& PeerLocked(uint32_t dst_packed);
+  /// Enqueues one encoded frame for `dst` (shared Send/SendEncoded path).
+  Status EnqueueFrame(NodeId dst, Bytes wire, bool pooled);
+  /// Returns a pooled frame's buffer to WireBufferPool; frees the rest.
+  static void RecycleFrame(QueuedFrame& frame);
   void BeginConnectLocked(Peer& peer, uint16_t port);
   void FinishConnectLocked(Peer& peer);
   void OnConnectedLocked(Peer& peer);
@@ -139,6 +160,9 @@ class TcpTransport : public Transport {
   bool running_ = false;
   std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_;
   size_t total_queued_frames_ = 0;
+  /// FlushLocked's reusable batch of sent pooled buffers awaiting release
+  /// (writer thread only, under mu_).
+  std::vector<Bytes> recycle_scratch_;
   Rng jitter_rng_;
 
   // Pre-resolved observability handles (null when unwired).

@@ -46,6 +46,13 @@ class Transport {
     /// Successful connection establishments after the first one per peer
     /// (each one means a previous connection died and backoff recovered).
     uint64_t reconnects = 0;
+    /// Data-path syscalls: send/writev calls that moved >= 1 byte, and
+    /// recv/read calls that returned >= 1 byte. syscalls-per-frame is the
+    /// wire efficiency figure bench_wire tracks (batching drives it toward
+    /// zero); connect/poll/wake bookkeeping is excluded. Zero for
+    /// transports that make no syscalls (in-process).
+    uint64_t send_syscalls = 0;
+    uint64_t recv_syscalls = 0;
   };
 
   virtual ~Transport() = default;

@@ -1,5 +1,7 @@
 #include "net/wire.h"
 
+#include <utility>
+
 #include "common/codec.h"
 #include "net/crc32.h"
 #include "obs/trace_clock.h"
@@ -23,39 +25,60 @@ Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src) {
 
 Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src,
                   uint64_t origin_ts_ns) {
-  BinaryWriter body;
-  msg.EncodeBodyTo(&body);
+  Bytes out;
+  EncodeFrameInto(msg, src, origin_ts_ns, &out);
+  return out;
+}
+
+void EncodeFrameInto(const ProtocolMessage& msg, NodeId src, Bytes* out) {
+  EncodeFrameInto(msg, src,
+                  CarriesTraceContext(msg.message_type())
+                      ? obs::TraceClock::NowNs()
+                      : 0,
+                  out);
+}
+
+void EncodeFrameInto(const ProtocolMessage& msg, NodeId src,
+                     uint64_t origin_ts_ns, Bytes* out) {
+  // Offsets of the two fields patched after the payload is appended.
+  constexpr size_t kBodyLenOffset = kFrameHeaderBytes - 8;
+  constexpr size_t kCrcOffset = kFrameHeaderBytes - 4;
 
   TraceContext ctx;
   const bool has_trace = msg.TraceKey(&ctx.gid, &ctx.seq);
   ctx.origin = src.Packed();
   ctx.origin_ts_ns = origin_ts_ns;
 
-  BinaryWriter w(kFrameHeaderBytes + (has_trace ? kTraceContextBytes : 0) +
-                 body.size());
+  BinaryWriter w(std::move(*out));
   w.PutU32(kWireMagic);
   w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(msg.message_type()));
   w.PutU8(has_trace ? kFrameFlagTraceContext : 0);
   w.PutU32(src.Packed());
-  w.PutU32(static_cast<uint32_t>(body.size()));
-
-  BinaryWriter trace;
+  w.PutU32(0);  // body length, patched below
+  w.PutU32(0);  // CRC, patched below
   if (has_trace) {
-    trace.PutU16(ctx.gid);
-    trace.PutU64(ctx.seq);
-    trace.PutU32(ctx.origin);
-    trace.PutU64(ctx.origin_ts_ns);
+    w.PutU16(ctx.gid);
+    w.PutU64(ctx.seq);
+    w.PutU32(ctx.origin);
+    w.PutU64(ctx.origin_ts_ns);
   }
+  msg.EncodeBodyTo(&w);
 
+  const size_t trace_len = has_trace ? kTraceContextBytes : 0;
+  const size_t body_len = w.size() - kFrameHeaderBytes - trace_len;
+  w.PatchU32(kBodyLenOffset, static_cast<uint32_t>(body_len));
+
+  // The CRC spans version..body_len plus everything after the CRC field
+  // itself; computing it over the assembled bytes needs no scratch buffers.
+  *out = w.Release();
   Crc32 crc;
-  crc.Update(w.buffer().data() + 4, kCrcHeaderSpan);  // version..body_len
-  crc.Update(trace.buffer());
-  crc.Update(body.buffer());
-  w.PutU32(crc.Finish());
-  w.PutRaw(trace.buffer().data(), trace.size());
-  w.PutRaw(body.buffer().data(), body.size());
-  return w.Release();
+  crc.Update(out->data() + 4, kCrcHeaderSpan);
+  crc.Update(out->data() + kFrameHeaderBytes, trace_len + body_len);
+  const uint32_t digest = crc.Finish();
+  for (int i = 0; i < 4; ++i)
+    (*out)[kCrcOffset + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(digest >> (8 * i));
 }
 
 Result<size_t> PeekFrameLength(const uint8_t* data, size_t len) {

@@ -78,6 +78,16 @@ struct Frame {
 [[nodiscard]] Bytes EncodeFrame(const ProtocolMessage& msg, NodeId src,
                                 uint64_t origin_ts_ns);
 
+/// Single-pass encode into a caller-supplied buffer (typically from
+/// WireBufferPool): the frame is appended to `*out` after clearing it, with
+/// no intermediate body/trace buffers — body length and CRC are patched in
+/// place once the payload is written. Byte-identical to EncodeFrame; the
+/// hot transports use this so steady-state sends reuse pooled capacity
+/// instead of allocating per frame (DESIGN.md §15).
+void EncodeFrameInto(const ProtocolMessage& msg, NodeId src, Bytes* out);
+void EncodeFrameInto(const ProtocolMessage& msg, NodeId src,
+                     uint64_t origin_ts_ns, Bytes* out);
+
 /// Parses one complete frame. The buffer must contain exactly the frame
 /// (PeekFrameLength gives the boundary when streaming). Returns Corruption
 /// on bad magic/version/length/CRC, unknown type, or malformed body.

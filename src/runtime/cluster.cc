@@ -370,6 +370,8 @@ std::string RealCluster::HealthJson() {
       w.Member("send_errors", stats.send_errors);
       w.Member("decode_errors", stats.decode_errors);
       w.Member("backpressure_drops", stats.dropped_backpressure);
+      w.Member("send_syscalls", stats.send_syscalls);
+      w.Member("recv_syscalls", stats.recv_syscalls);
       w.EndObject();
     }
   }
@@ -536,6 +538,8 @@ Result<ExperimentResult> RealCluster::Run() {
     result.net_decode_errors += stats.decode_errors;
     result.net_reconnects += stats.reconnects;
     result.net_dropped_backpressure += stats.dropped_backpressure;
+    result.net_send_syscalls += stats.send_syscalls;
+    result.net_recv_syscalls += stats.recv_syscalls;
   }
   for (const FaultInjectingTransport* injector : fault_transports_)
     result.faults_injected += injector->fault_stats().total();

@@ -1,14 +1,20 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/cpu.h"
 #include "common/rng.h"
+#include "net/buffer_pool.h"
 #include "net/crc32.h"
+#include "net/rx_ring.h"
 #include "net/fault_transport.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
@@ -857,6 +863,327 @@ TEST(FaultTransportTest, SameSeedSameMessageSequenceSameFaults) {
   EXPECT_EQ(first.duplicated, second.duplicated);
   EXPECT_EQ(first.corrupted, second.corrupted);
   EXPECT_EQ(first.delayed, second.delayed);
+}
+
+// ----------------------------------------------------- crc32 kernels
+
+/// Property test for the crc32 kernel family (DESIGN.md §10): every fast
+/// path — slice-by-8, PCLMULQDQ folding, ARMv8 CRC — must agree with the
+/// byte-at-a-time scalar oracle on random buffers, lengths and running
+/// states, including the sub-block sizes the hardware kernels delegate.
+TEST(Crc32KernelTest, FastKernelsMatchScalarOracle) {
+  Rng rng(0xC4C32);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Cover the interesting length regimes: empty, sub-8-byte tails, the
+    // 16/64-byte fold thresholds, and multi-block bulk.
+    const size_t len = trial < 80 ? trial : rng.NextBelow(4096);
+    Bytes buf(len);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+    const uint32_t state = static_cast<uint32_t>(rng.NextU64());
+
+    const uint32_t oracle =
+        internal_crc32::UpdateScalarTable(state, buf.data(), len);
+    EXPECT_EQ(internal_crc32::UpdateSlice8(state, buf.data(), len), oracle)
+        << "slice8 diverged from scalar oracle at len " << len;
+#if defined(__x86_64__)
+    if (GetCpuFeatures().pclmul) {
+      EXPECT_EQ(internal_crc32::UpdatePclmul(state, buf.data(), len), oracle)
+          << "pclmul diverged from scalar oracle at len " << len;
+    }
+#endif
+#if defined(__aarch64__)
+    if (GetCpuFeatures().arm_crc32) {
+      EXPECT_EQ(internal_crc32::UpdateArmv8(state, buf.data(), len), oracle)
+          << "armv8 diverged from scalar oracle at len " << len;
+    }
+#endif
+  }
+}
+
+/// The dispatched Update must be split-invariant: chopping one buffer
+/// into arbitrary incremental Update calls lands on the same digest as
+/// the scalar oracle one-shot, whatever kernel is active.
+TEST(Crc32KernelTest, DispatchedIncrementalMatchesScalarOracle) {
+  Rng rng(0xD15);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes buf(1 + rng.NextBelow(2048));
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.NextU64());
+    Crc32 crc;
+    size_t pos = 0;
+    while (pos < buf.size()) {
+      const size_t take =
+          std::min(buf.size() - pos, 1 + rng.NextBelow(130));
+      crc.Update(buf.data() + pos, take);
+      pos += take;
+    }
+    const uint32_t expected = ~internal_crc32::UpdateScalarTable(
+        0xFFFFFFFFu, buf.data(), buf.size());
+    EXPECT_EQ(crc.Finish(), expected);
+  }
+}
+
+// ------------------------------------------------- EncodeFrameInto
+
+/// The single-pass pooled encoder must produce byte-identical frames to
+/// the classic EncodeFrame for every message type, and must fully reset a
+/// recycled buffer (stale capacity, stale contents) before encoding.
+TEST(WireEncodeIntoTest, MatchesEncodeFrameForEveryType) {
+  Rng rng(11);
+  Bytes reused;  // Deliberately reused across types, like a pooled buffer.
+  reused.assign(333, 0xEE);
+  for (MessageType type : kAllTypes) {
+    auto msg = MakeMessage(type, rng);
+    const Bytes classic = EncodeFrame(*msg, NodeId{2, 4}, 1234567);
+    EncodeFrameInto(*msg, NodeId{2, 4}, 1234567, &reused);
+    EXPECT_EQ(reused, classic) << "type " << static_cast<int>(type);
+  }
+}
+
+// ---------------------------------------------------- FrameReassembler
+
+/// Splitting a frame stream at every possible boundary — one byte per
+/// recv — must reassemble the exact frame sequence. This is the
+/// adversarial-fragmentation contract of the rx ring (DESIGN.md §15).
+TEST(FrameReassemblerTest, OneByteTrickleReassemblesEveryType) {
+  Rng rng(21);
+  Bytes stream;
+  std::vector<MessageType> order;
+  for (MessageType type : kAllTypes) {
+    auto msg = MakeMessage(type, rng);
+    const Bytes wire = EncodeFrame(*msg, NodeId{1, 2});
+    stream.insert(stream.end(), wire.begin(), wire.end());
+    order.push_back(type);
+  }
+
+  FrameReassembler rx(/*initial_capacity=*/7);  // Force regrowth too.
+  std::vector<Frame> frames;
+  for (uint8_t byte : stream) {
+    *rx.WritableData(1) = byte;
+    rx.CommitWrite(1);
+    ASSERT_TRUE(rx.Drain(&frames).ok());
+  }
+  ASSERT_EQ(frames.size(), order.size());
+  for (size_t i = 0; i < order.size(); ++i)
+    EXPECT_EQ(frames[i].msg->message_type(), order[i]) << "frame " << i;
+  EXPECT_EQ(rx.PendingBytes(), 0u);
+}
+
+TEST(FrameReassemblerTest, RandomFragmentationFuzz) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    Bytes stream;
+    size_t expected = 0;
+    for (int i = 0; i < 40; ++i) {
+      auto msg = MakeMessage(
+          kAllTypes[rng.NextBelow(std::size(kAllTypes))], rng);
+      const Bytes wire = EncodeFrame(*msg, NodeId{0, 1});
+      stream.insert(stream.end(), wire.begin(), wire.end());
+      ++expected;
+    }
+    FrameReassembler rx;
+    std::vector<Frame> frames;
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      const size_t take =
+          std::min(stream.size() - pos, 1 + rng.NextBelow(977));
+      std::memcpy(rx.WritableData(take), stream.data() + pos, take);
+      rx.CommitWrite(take);
+      pos += take;
+      ASSERT_TRUE(rx.Drain(&frames).ok());
+    }
+    EXPECT_EQ(frames.size(), expected);
+    EXPECT_EQ(rx.PendingBytes(), 0u);
+  }
+}
+
+/// A corrupt frame mid-stream surfaces as Corruption, but the good frames
+/// decoded before it are still handed out — the transport delivers them
+/// before tearing the connection down.
+TEST(FrameReassemblerTest, CorruptionAfterGoodFramesKeepsThePrefix) {
+  Rng rng(41);
+  GroupHeartbeatMsg msg(3, 9);
+  Bytes stream;
+  for (int i = 0; i < 2; ++i) {
+    const Bytes wire = EncodeFrame(msg, NodeId{0, 0});
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  Bytes bad = EncodeFrame(msg, NodeId{0, 0});
+  bad[0] ^= 0xFF;  // Break the magic: framing is unrecoverable.
+  stream.insert(stream.end(), bad.begin(), bad.end());
+
+  FrameReassembler rx;
+  std::memcpy(rx.WritableData(stream.size()), stream.data(), stream.size());
+  rx.CommitWrite(stream.size());
+  std::vector<Frame> frames;
+  const Status drained = rx.Drain(&frames);
+  EXPECT_TRUE(drained.IsCorruption());
+  EXPECT_EQ(frames.size(), 2u);
+}
+
+// -------------------------------------------------------- BufferPool
+
+TEST(BufferPoolTest, ReuseAccountingAndPoisonOnRecycle) {
+  BufferPool::Options options;
+  options.poison = true;
+  BufferPool pool(options);
+
+  Bytes first = pool.Acquire();
+  first.assign(64, 0x5A);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  // Vector moves preserve the data pointer, so this stays valid while the
+  // buffer sits in the free list — letting us observe that Release
+  // overwrote every stale frame byte. A use-after-release thus reads 0xDB
+  // garbage instead of a silently recycled frame.
+  const uint8_t* mem = first.data();
+  pool.Release(std::move(first));
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+  for (size_t i = 0; i < 64; ++i)
+    ASSERT_EQ(mem[i], BufferPool::kPoisonByte) << "unpoisoned byte " << i;
+
+  // The recycled buffer comes back empty but with its old capacity.
+  Bytes second = pool.Acquire();
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+  EXPECT_TRUE(second.empty());
+  EXPECT_GE(second.capacity(), 64u);
+  pool.Release(std::move(second));
+
+  // Batch release keeps the same accounting as singles.
+  std::vector<Bytes> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(pool.Acquire());
+  EXPECT_EQ(pool.stats().outstanding, 4u);
+  pool.ReleaseAll(&batch);
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(BufferPoolTest, OversizeBuffersAreNotRetained) {
+  BufferPool::Options options;
+  options.max_retained_capacity = 1024;
+  BufferPool pool(options);
+  Bytes big = pool.Acquire();
+  big.reserve(4096);
+  pool.Release(std::move(big));
+  EXPECT_EQ(pool.stats().discarded, 1u);
+  // The next acquire cannot be served by the discarded slab.
+  Bytes next = pool.Acquire();
+  EXPECT_EQ(pool.stats().allocations, 2u);
+  pool.Release(std::move(next));
+}
+
+/// The zero-alloc-per-frame contract of the pooled send path: once the
+/// pool is warm, a burst of sends must not allocate at all. The in-proc
+/// transport makes this deterministic (encode -> route -> release is
+/// synchronous on the caller's thread).
+TEST(InProcTransportTest, SteadyStateSendsMakeZeroPoolAllocations) {
+  InProcHub hub;
+  auto a = hub.CreateTransport(NodeId{0, 0});
+  auto b = hub.CreateTransport(NodeId{0, 1});
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a->Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b->Start(sink_b.fn()).ok());
+
+  GroupHeartbeatMsg msg(1, 42);
+  for (int i = 0; i < 16; ++i)  // Warm the pool.
+    ASSERT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+
+  const BufferPool::Stats warm = WireBufferPool().stats();
+  for (int i = 0; i < 500; ++i)
+    ASSERT_TRUE(a->Send(NodeId{0, 1}, msg).ok());
+  const BufferPool::Stats after = WireBufferPool().stats();
+
+  EXPECT_EQ(after.allocations - warm.allocations, 0u)
+      << "steady-state sends allocated";
+  EXPECT_EQ(after.reuses - warm.reuses, 500u);
+  ASSERT_TRUE(sink_b.WaitForCount(516));
+  a->Stop();
+  b->Stop();
+}
+
+// ------------------------------------------- Batched TCP wire path
+
+/// Floods of small frames exercise the scatter-gather writer's full-batch
+/// and partial-batch resume paths; per-peer delivery order must survive
+/// batching. Sequence numbers ride in last_seq.
+TEST(TcpTransportTest, BatchedDeliveryPreservesPerPeerOrder) {
+  TcpTransport::Options options;
+  options.max_queue_frames = 8192;
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19471);
+  TcpTransport a(NodeId{0, 0}, ports, options);
+  TcpTransport b(NodeId{0, 1}, ports, options);
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a.Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b.Start(sink_b.fn()).ok());
+
+  constexpr uint64_t kCount = 3000;
+  for (uint64_t i = 0; i < kCount; ++i) {
+    GroupHeartbeatMsg msg(1, i);
+    while (!a.Send(NodeId{0, 1}, msg).ok())  // Ride out backpressure.
+      std::this_thread::yield();
+  }
+  ASSERT_TRUE(sink_b.WaitForCount(kCount));
+
+  std::lock_guard<std::mutex> lock(sink_b.mu);
+  for (uint64_t i = 0; i < kCount; ++i) {
+    const auto& beat =
+        static_cast<const GroupHeartbeatMsg&>(*sink_b.frames[i].msg);
+    ASSERT_EQ(beat.last_seq(), i) << "reordered or lost at " << i;
+  }
+  // The whole flood must have moved in far fewer syscalls than frames on
+  // both sides — the point of batching.
+  EXPECT_LT(a.stats().send_syscalls, kCount / 2);
+  EXPECT_LT(b.stats().recv_syscalls, kCount / 2);
+  a.Stop();
+  b.Stop();
+}
+
+/// Interleaves frames far larger than the socket buffer with small ones,
+/// forcing sendmsg to accept partial batches that end mid-frame; the
+/// write-offset resume must keep the stream byte-exact (every frame CRC
+/// checks on the far side) and in order.
+TEST(TcpTransportTest, PartialWriteResumeAcrossBatchBoundaries) {
+  TcpTransport::Options options;
+  options.max_queue_frames = 256;
+  options.max_queue_bytes = 256 * 1024 * 1024;
+  TcpPortMap ports = MustMakePortMap({2}, /*base=*/19481);
+  TcpTransport a(NodeId{0, 0}, ports, options);
+  TcpTransport b(NodeId{0, 1}, ports, options);
+  Sink sink_a, sink_b;
+  ASSERT_TRUE(a.Start(sink_a.fn()).ok());
+  ASSERT_TRUE(b.Start(sink_b.fn()).ok());
+
+  // ~1MB chunk batches dwarf the loopback socket buffer.
+  Rng rng(51);
+  std::vector<Chunk> chunks(2);
+  for (Chunk& c : chunks) {
+    c.chunk_id = static_cast<uint32_t>(rng.NextU64());
+    c.data.resize(512 * 1024);
+    for (auto& byte : c.data) byte = static_cast<uint8_t>(rng.NextU64());
+    c.proof.index = 0;
+    c.proof.leaf_count = 2;
+  }
+  constexpr int kRounds = 8;
+  for (int i = 0; i < kRounds; ++i) {
+    ChunkBatchMsg big(1, static_cast<uint64_t>(i), RandDigest(rng),
+                      RandCert(rng), chunks, 0);
+    GroupHeartbeatMsg small(1, static_cast<uint64_t>(i));
+    while (!a.Send(NodeId{0, 1}, big).ok()) std::this_thread::yield();
+    while (!a.Send(NodeId{0, 1}, small).ok()) std::this_thread::yield();
+  }
+  ASSERT_TRUE(sink_b.WaitForCount(2 * kRounds));
+
+  std::lock_guard<std::mutex> lock(sink_b.mu);
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_EQ(sink_b.frames[2 * static_cast<size_t>(i)].msg->message_type(),
+              MessageType::kChunkBatch);
+    ASSERT_EQ(
+        sink_b.frames[2 * static_cast<size_t>(i) + 1].msg->message_type(),
+        MessageType::kGroupHeartbeat);
+  }
+  EXPECT_EQ(b.stats().decode_errors, 0u);
+  a.Stop();
+  b.Stop();
 }
 
 }  // namespace
