@@ -41,6 +41,19 @@
 /// RAII type that holds a capability for its lifetime.
 #define MASSBFT_SCOPED_CAPABILITY MASSBFT_THREAD_ANNOTATION_(scoped_lockable)
 
+/// Function that acquires the capability only when it returns true.
+#define MASSBFT_TRY_ACQUIRE(...) \
+  MASSBFT_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread already holds the capability
+/// (for callbacks that are documented to run under a caller's lock).
+#define MASSBFT_ASSERT_CAPABILITY(x) \
+  MASSBFT_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returning a reference to the given capability.
+#define MASSBFT_RETURN_CAPABILITY(x) \
+  MASSBFT_THREAD_ANNOTATION_(lock_returned(x))
+
 /// Escape hatch: function deliberately exempt from analysis.
 #define MASSBFT_NO_THREAD_SAFETY_ANALYSIS \
   MASSBFT_THREAD_ANNOTATION_(no_thread_safety_analysis)

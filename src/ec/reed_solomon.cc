@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <utility>
 
+#include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 #include "ec/gf256.h"
 
@@ -23,7 +23,8 @@ constexpr size_t kCodingStripe = 4096;
 /// function-local statics) so the clang -Wthread-safety leg can prove the
 /// MASSBFT_GUARDED_BY contract: `by_params` is only touched under `mutex`.
 struct RsFactoryCache {
-  std::mutex mutex;
+  // kLeafCache: taken from protocol code with no other ranked lock held.
+  RankedMutex mutex{"rs.factory.mu", LockRank::kLeafCache};
   std::map<std::pair<int, int>, std::shared_ptr<const ReedSolomon>> by_params
       MASSBFT_GUARDED_BY(mutex);
 };
@@ -65,7 +66,7 @@ Result<ReedSolomon> ReedSolomon::Create(int n_data, int n_parity) {
 Result<std::shared_ptr<const ReedSolomon>> ReedSolomon::Shared(int n_data,
                                                                int n_parity) {
   RsFactoryCache& cache = FactoryCache();
-  std::lock_guard<std::mutex> lock(cache.mutex);
+  MutexLock lock(&cache.mutex);
   auto key = std::make_pair(n_data, n_parity);
   auto it = cache.by_params.find(key);
   if (it != cache.by_params.end()) return it->second;

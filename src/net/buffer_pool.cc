@@ -6,7 +6,7 @@
 namespace massbft {
 
 Bytes BufferPool::Acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   stats_.outstanding++;
   if (free_.empty()) {
     stats_.allocations++;
@@ -23,7 +23,7 @@ Bytes BufferPool::Acquire() {
 void BufferPool::Release(Bytes buf) {
   if (options_.poison)
     std::fill(buf.begin(), buf.end(), kPoisonByte);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ReleaseLocked(std::move(buf));
 }
 
@@ -31,7 +31,7 @@ void BufferPool::ReleaseAll(std::vector<Bytes>* bufs) {
   if (options_.poison)
     for (Bytes& buf : *bufs) std::fill(buf.begin(), buf.end(), kPoisonByte);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (Bytes& buf : *bufs) ReleaseLocked(std::move(buf));
   }
   bufs->clear();
@@ -50,7 +50,7 @@ void BufferPool::ReleaseLocked(Bytes buf) {
 }
 
 BufferPool::Stats BufferPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

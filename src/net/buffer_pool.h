@@ -3,10 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace massbft {
 
@@ -79,13 +80,16 @@ class BufferPool {
   Stats stats() const;
 
  private:
-  void ReleaseLocked(Bytes buf);
+  void ReleaseLocked(Bytes buf) MASSBFT_REQUIRES(mu_);
 
-  Options options_;
-  mutable std::mutex mu_;
-  std::vector<Bytes> free_;
-  size_t retained_bytes_ = 0;  // Sum of free_ capacities.
-  Stats stats_;
+  Options options_;  // Immutable after construction.
+  // kBufferPool ranks below kTransport: the batched writer recycles whole
+  // sendmsg batches while still holding the transport lock.
+  mutable RankedMutex mu_{"buffer_pool.mu", LockRank::kBufferPool};
+  std::vector<Bytes> free_ MASSBFT_GUARDED_BY(mu_);
+  // Sum of free_ capacities.
+  size_t retained_bytes_ MASSBFT_GUARDED_BY(mu_) = 0;
+  Stats stats_ MASSBFT_GUARDED_BY(mu_);
 };
 
 /// The process-wide pool the wire layer encodes frames from. One pool per

@@ -27,7 +27,7 @@ void FaultInjectingTransport::BindTelemetry(obs::Telemetry* telemetry) {
 
 Status FaultInjectingTransport::Start(DeliverFn deliver) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (running_) return Status::FailedPrecondition("transport running");
     // The partition clock starts at the first Start() and keeps ticking
     // across kill/restart cycles: windows describe cluster time.
@@ -44,7 +44,7 @@ Status FaultInjectingTransport::Start(DeliverFn deliver) {
   // not configured (or the frame was already in flight).
   DeliverFn filtered = [this, deliver = std::move(deliver)](Frame frame) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (PartitionedLocked(frame.src, inner_->self())) {
         fault_stats_.partition_dropped++;
         if (partition_counter_ != nullptr) partition_counter_->Add();
@@ -65,7 +65,7 @@ Status FaultInjectingTransport::Start(DeliverFn deliver) {
 
 void FaultInjectingTransport::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
     // Pending delayed frames die with the stop (they were counted when
@@ -99,7 +99,7 @@ Status FaultInjectingTransport::Send(NodeId dst, const ProtocolMessage& msg) {
   Action action = Action::kPass;
   double delay_ms = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::FailedPrecondition("transport stopped");
     if (PartitionedLocked(inner_->self(), dst)) {
       action = Action::kPartition;
@@ -141,7 +141,7 @@ Status FaultInjectingTransport::Send(NodeId dst, const ProtocolMessage& msg) {
   Bytes wire = EncodeFrame(msg, inner_->self());
   switch (action) {
     case Action::kCorrupt: {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       size_t index = rng_.NextBelow(wire.size());
       wire[index] ^= static_cast<uint8_t>(1 + rng_.NextBelow(255));
       break;
@@ -162,7 +162,7 @@ Status FaultInjectingTransport::ForwardFifo(NodeId dst, Bytes wire,
                                             double delay_ms) {
   bool queued = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return Status::FailedPrecondition("transport stopped");
     auto pending = link_pending_.find(dst.Packed());
     const bool stalled = pending != link_pending_.end() && pending->second > 0;
@@ -192,30 +192,40 @@ Status FaultInjectingTransport::SendEncoded(NodeId dst, Bytes wire) {
 }
 
 void FaultInjectingTransport::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (running_) {
-    if (delayed_.empty()) {
-      cv_.wait(lock);
-      continue;
+  for (;;) {
+    DelayedFrame frame;
+    {
+      MutexLock lock(&mu_);
+      while (running_) {
+        if (delayed_.empty()) {
+          cv_.wait(mu_);
+          continue;
+        }
+        const Clock::time_point due = delayed_.top().due;
+        if (Clock::now() < due) {
+          cv_.wait_until(mu_, due);
+          continue;
+        }
+        break;
+      }
+      if (!running_) return;
+      // Move out of the heap top (safe: the element is popped immediately
+      // and heap order does not depend on the moved-from wire bytes).
+      frame = std::move(const_cast<DelayedFrame&>(delayed_.top()));
+      delayed_.pop();
     }
-    const Clock::time_point due = delayed_.top().due;
-    if (Clock::now() < due) {
-      cv_.wait_until(lock, due);
-      continue;
-    }
-    // Move out of the heap top (safe: the element is popped immediately
-    // and heap order does not depend on the moved-from wire bytes).
-    DelayedFrame frame = std::move(const_cast<DelayedFrame&>(delayed_.top()));
-    delayed_.pop();
-    lock.unlock();
+    // Re-send with mu_ released: inner_->SendEncoded takes the transport
+    // lock, which must never nest under the injector's.
     (void)inner_->SendEncoded(frame.dst, std::move(frame.wire));
-    lock.lock();
-    // The frame stays counted as pending until the send above finishes,
-    // so a concurrent Send to the same destination cannot overtake it.
-    auto pending = link_pending_.find(frame.dst.Packed());
-    if (pending != link_pending_.end() && --pending->second == 0) {
-      link_pending_.erase(pending);
-      link_release_.erase(frame.dst.Packed());
+    {
+      MutexLock lock(&mu_);
+      // The frame stays counted as pending until the send above finishes,
+      // so a concurrent Send to the same destination cannot overtake it.
+      auto pending = link_pending_.find(frame.dst.Packed());
+      if (pending != link_pending_.end() && --pending->second == 0) {
+        link_pending_.erase(pending);
+        link_release_.erase(frame.dst.Packed());
+      }
     }
   }
 }
@@ -234,7 +244,7 @@ void FaultInjectingTransport::RecordFaultEvent(const char* name, double peer,
 }
 
 FaultStats FaultInjectingTransport::fault_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return fault_stats_;
 }
 

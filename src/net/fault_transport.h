@@ -5,13 +5,14 @@
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace massbft {
@@ -116,7 +117,7 @@ class FaultInjectingTransport : public Transport {
   };
 
   /// True when an active partition window separates the two nodes.
-  bool PartitionedLocked(NodeId a, NodeId b) const;
+  bool PartitionedLocked(NodeId a, NodeId b) const MASSBFT_REQUIRES(mu_);
   /// Sends `wire` to dst preserving per-link FIFO: queues it behind any
   /// still-pending delayed frames to the same destination (with at least
   /// `delay_ms` of extra latency); sends immediately when the link is
@@ -130,24 +131,30 @@ class FaultInjectingTransport : public Transport {
   std::unique_ptr<Transport> inner_;
   FaultSpec spec_;
 
-  mutable std::mutex mu_;
-  Rng rng_;
-  FaultStats fault_stats_;
-  bool running_ = false;
-  bool epoch_set_ = false;
-  Clock::time_point epoch_;  // Partition windows are relative to this.
+  // kFaultInjector ranks above the runtime that calls Send and below the
+  // inner transport lock: the timer thread re-sends delayed frames through
+  // inner_->SendEncoded with mu_ released, so the two never nest.
+  mutable RankedMutex mu_{"fault.mu", LockRank::kFaultInjector};
+  Rng rng_ MASSBFT_GUARDED_BY(mu_);
+  FaultStats fault_stats_ MASSBFT_GUARDED_BY(mu_);
+  bool running_ MASSBFT_GUARDED_BY(mu_) = false;
+  bool epoch_set_ MASSBFT_GUARDED_BY(mu_) = false;
+  // Partition windows are relative to this.
+  Clock::time_point epoch_ MASSBFT_GUARDED_BY(mu_);
   std::priority_queue<DelayedFrame, std::vector<DelayedFrame>,
                       std::greater<DelayedFrame>>
-      delayed_;
-  uint64_t delay_seq_ = 0;
+      delayed_ MASSBFT_GUARDED_BY(mu_);
+  uint64_t delay_seq_ MASSBFT_GUARDED_BY(mu_) = 0;
   /// Frames queued or in flight per destination (keyed by NodeId::Packed):
   /// while nonzero, every new frame to that destination must queue too,
   /// or it would overtake the delayed ones and reorder the link.
-  std::unordered_map<uint32_t, int> link_pending_;
+  std::unordered_map<uint32_t, int> link_pending_ MASSBFT_GUARDED_BY(mu_);
   /// Latest scheduled release time per destination; later frames to the
   /// same destination release no earlier.
-  std::unordered_map<uint32_t, Clock::time_point> link_release_;
-  std::condition_variable cv_;
+  std::unordered_map<uint32_t, Clock::time_point> link_release_
+      MASSBFT_GUARDED_BY(mu_);
+  /// Signaled under mu_ (timer wakeups: new delayed frame or Stop()).
+  std::condition_variable_any cv_;
   std::thread timer_thread_;
 
   // Pre-resolved observability handles (null when unwired).

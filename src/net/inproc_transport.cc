@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "net/buffer_pool.h"
 
 namespace massbft {
@@ -16,7 +18,7 @@ class InProcHub::Endpoint : public Transport {
   }
 
   Status Start(DeliverFn deliver) override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     deliver_ = std::move(deliver);
     return Status::OK();
   }
@@ -37,26 +39,26 @@ class InProcHub::Endpoint : public Transport {
   }
 
   void Stop() override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     deliver_ = nullptr;
   }
 
   NodeId self() const override { return self_; }
 
   Stats stats() const override {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return stats_;
   }
 
   /// Shared send path over a borrowed frame; the caller keeps ownership.
   Status RouteBorrowed(NodeId dst, const Bytes& wire) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.frames_sent++;
       stats_.bytes_sent += wire.size();
     }
     if (!hub_->Route(dst, wire)) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.send_errors++;
       return Status::NotFound("destination transport not started");
     }
@@ -68,14 +70,14 @@ class InProcHub::Endpoint : public Transport {
   bool Receive(const Bytes& wire) {
     DeliverFn deliver;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!deliver_) return false;
       stats_.bytes_received += wire.size();
       deliver = deliver_;
     }
     auto frame = DecodeFrame(wire);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!frame.ok()) {
         stats_.decode_errors++;
         // Delivered-but-corrupt: the send itself succeeded, like a TCP
@@ -92,16 +94,19 @@ class InProcHub::Endpoint : public Transport {
  private:
   InProcHub* hub_;
   NodeId self_;
-  mutable std::mutex mu_;
-  DeliverFn deliver_;
-  Stats stats_;
+  // Same kTransport rank as the hub lock: the two are never held together
+  // (Route drops the hub lock before calling Receive), and equal ranks
+  // abort if that invariant ever breaks.
+  mutable RankedMutex mu_{"inproc.endpoint.mu", LockRank::kTransport};
+  DeliverFn deliver_ MASSBFT_GUARDED_BY(mu_);
+  Stats stats_ MASSBFT_GUARDED_BY(mu_);
 };
 
 InProcHub::~InProcHub() = default;
 
 std::unique_ptr<Transport> InProcHub::CreateTransport(NodeId self) {
   auto endpoint = std::make_unique<Endpoint>(this, self);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   endpoints_[self.Packed()] = endpoint.get();
   return endpoint;
 }
@@ -109,7 +114,7 @@ std::unique_ptr<Transport> InProcHub::CreateTransport(NodeId self) {
 bool InProcHub::Route(NodeId dst, const Bytes& wire) {
   Endpoint* target = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = endpoints_.find(dst.Packed());
     if (it != endpoints_.end()) target = it->second;
   }
@@ -118,7 +123,7 @@ bool InProcHub::Route(NodeId dst, const Bytes& wire) {
 }
 
 void InProcHub::Deregister(NodeId self) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   endpoints_.erase(self.Packed());
 }
 

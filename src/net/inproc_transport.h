@@ -2,9 +2,10 @@
 #define MASSBFT_NET_INPROC_TRANSPORT_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace massbft {
@@ -36,8 +37,10 @@ class InProcHub {
   bool Route(NodeId dst, const Bytes& wire);
   void Deregister(NodeId self);
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint32_t, Endpoint*> endpoints_;
+  // Shares kTransport with the endpoint locks: Route releases the hub
+  // lock before touching an endpoint, so the two never nest.
+  mutable RankedMutex mu_{"inproc.hub.mu", LockRank::kTransport};
+  std::unordered_map<uint32_t, Endpoint*> endpoints_ MASSBFT_GUARDED_BY(mu_);
 };
 
 }  // namespace massbft

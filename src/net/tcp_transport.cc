@@ -97,7 +97,7 @@ Status TcpTransport::Start(DeliverFn deliver) {
   if (it == ports_.end())
     return Status::InvalidArgument("self has no port assignment");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (running_) return Status::FailedPrecondition("transport running");
   }
 
@@ -127,7 +127,7 @@ Status TcpTransport::Start(DeliverFn deliver) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     deliver_ = std::move(deliver);
     running_ = true;
   }
@@ -138,7 +138,7 @@ Status TcpTransport::Start(DeliverFn deliver) {
 
 void TcpTransport::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
   }
@@ -158,7 +158,7 @@ void TcpTransport::Stop() {
   wake_pipe_[0] = wake_pipe_[1] = -1;
   writer_wake_pipe_[0] = writer_wake_pipe_[1] = -1;
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [packed, peer] : peers_) {
     CloseFd(peer->fd);
     for (QueuedFrame& frame : peer->queue) RecycleFrame(frame);
@@ -189,7 +189,7 @@ void TcpTransport::RecycleFrame(QueuedFrame& frame) {
 
 Status TcpTransport::EnqueueFrame(NodeId dst, Bytes wire, bool pooled) {
   QueuedFrame frame{std::move(wire), pooled};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!running_) {
     RecycleFrame(frame);
     return Status::FailedPrecondition("transport stopped");
@@ -407,7 +407,7 @@ void TcpTransport::WriterLoop() {
     polled.clear();
     int timeout_ms = kPollTimeoutMs;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!running_) break;
       const Clock::time_point now = Clock::now();
       for (auto& [packed, slot] : peers_) {
@@ -445,7 +445,7 @@ void TcpTransport::WriterLoop() {
           ::read(writer_wake_pipe_[0], buf, sizeof(buf));
     }
 
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) break;
     // Peer objects are stable (unique_ptr values, map never erased while
     // running), so the pointers collected above remain valid.
@@ -490,7 +490,7 @@ bool TcpTransport::ReadAndDeliver(Conn& conn) {
 
   DeliverFn deliver;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.recv_syscalls += reads;
     stats_.frames_received += frames.size();
     stats_.bytes_received += consumed;
@@ -508,7 +508,7 @@ void TcpTransport::IoLoop() {
 
   for (;;) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (!running_) break;
     }
     fds.clear();
@@ -554,7 +554,7 @@ void TcpTransport::IoLoop() {
 }
 
 Transport::Stats TcpTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

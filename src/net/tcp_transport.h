@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "net/rx_ring.h"
 #include "net/transport.h"
@@ -131,19 +132,19 @@ class TcpTransport : public Transport {
   /// the connection must be closed (EOF or corrupt stream).
   bool ReadAndDeliver(Conn& conn);
 
-  Peer& PeerLocked(uint32_t dst_packed);
+  Peer& PeerLocked(uint32_t dst_packed) MASSBFT_REQUIRES(mu_);
   /// Enqueues one encoded frame for `dst` (shared Send/SendEncoded path).
   Status EnqueueFrame(NodeId dst, Bytes wire, bool pooled);
   /// Returns a pooled frame's buffer to WireBufferPool; frees the rest.
   static void RecycleFrame(QueuedFrame& frame);
-  void BeginConnectLocked(Peer& peer, uint16_t port);
-  void FinishConnectLocked(Peer& peer);
-  void OnConnectedLocked(Peer& peer);
+  void BeginConnectLocked(Peer& peer, uint16_t port) MASSBFT_REQUIRES(mu_);
+  void FinishConnectLocked(Peer& peer) MASSBFT_REQUIRES(mu_);
+  void OnConnectedLocked(Peer& peer) MASSBFT_REQUIRES(mu_);
   /// Drops the connection and schedules the next dial with backoff.
-  void DisconnectLocked(Peer& peer);
+  void DisconnectLocked(Peer& peer) MASSBFT_REQUIRES(mu_);
   /// Writes as much queued data as the socket accepts right now.
-  void FlushLocked(Peer& peer);
-  void UpdateQueueGaugeLocked();
+  void FlushLocked(Peer& peer) MASSBFT_REQUIRES(mu_);
+  void UpdateQueueGaugeLocked() MASSBFT_REQUIRES(mu_);
   void WakeWriter();
   /// Records a connection-lifecycle event in the owning node's flight
   /// recorder and (when tracing) as a trace instant on its track, so
@@ -154,16 +155,19 @@ class TcpTransport : public Transport {
   TcpPortMap ports_;
   Options options_;
 
-  mutable std::mutex mu_;  // Guards stats_, running_, deliver_, peers_.
-  DeliverFn deliver_;
-  Stats stats_;
-  bool running_ = false;
-  std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_;
-  size_t total_queued_frames_ = 0;
+  // kTransport ranks above the runtime/fault layers that call into Send,
+  // and below the buffer pool and obs recorders it calls while held.
+  mutable RankedMutex mu_{"tcp.mu", LockRank::kTransport};
+  DeliverFn deliver_ MASSBFT_GUARDED_BY(mu_);
+  Stats stats_ MASSBFT_GUARDED_BY(mu_);
+  bool running_ MASSBFT_GUARDED_BY(mu_) = false;
+  std::unordered_map<uint32_t, std::unique_ptr<Peer>> peers_
+      MASSBFT_GUARDED_BY(mu_);
+  size_t total_queued_frames_ MASSBFT_GUARDED_BY(mu_) = 0;
   /// FlushLocked's reusable batch of sent pooled buffers awaiting release
   /// (writer thread only, under mu_).
-  std::vector<Bytes> recycle_scratch_;
-  Rng jitter_rng_;
+  std::vector<Bytes> recycle_scratch_ MASSBFT_GUARDED_BY(mu_);
+  Rng jitter_rng_ MASSBFT_GUARDED_BY(mu_);
 
   // Pre-resolved observability handles (null when unwired).
   obs::Telemetry* telemetry_ = nullptr;

@@ -12,7 +12,7 @@ FlightRecorder::FlightRecorder(size_t capacity)
 
 void FlightRecorder::Record(uint64_t t_ns, const char* category,
                             const char* name, double a, double b) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   FlightEvent event{t_ns, category, name, a, b};
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
@@ -23,12 +23,12 @@ void FlightRecorder::Record(uint64_t t_ns, const char* category,
 }
 
 uint64_t FlightRecorder::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return count_;
 }
 
 std::vector<FlightEvent> FlightRecorder::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<FlightEvent> out;
   out.reserve(ring_.size());
   if (count_ <= capacity_) {
@@ -46,7 +46,7 @@ void FlightRecorder::Dump(std::ostream& out, const std::string& owner) const {
   const std::vector<FlightEvent> events = Snapshot();
   uint64_t total;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     total = count_;
   }
   out << "--- flight recorder " << owner << ": kept " << events.size()
@@ -61,7 +61,7 @@ void FlightRecorder::Dump(std::ostream& out, const std::string& owner) const {
 }
 
 void FlightRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ring_.clear();
   count_ = 0;
 }

@@ -2,10 +2,12 @@
 #define MASSBFT_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace massbft {
 namespace obs {
@@ -60,9 +62,12 @@ class FlightRecorder {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<FlightEvent> ring_;  // Insertion slot = count_ % capacity_.
-  uint64_t count_ = 0;
+  // kObsRecorder: Record() runs under transport/runtime locks (connection
+  // lifecycle events fire while tcp.mu is held).
+  mutable RankedMutex mu_{"flight_recorder.mu", LockRank::kObsRecorder};
+  // Insertion slot = count_ % capacity_.
+  std::vector<FlightEvent> ring_ MASSBFT_GUARDED_BY(mu_);
+  uint64_t count_ MASSBFT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace obs

@@ -53,6 +53,8 @@ class StatsServer {
 
   /// The bound port while running, 0 otherwise.
   uint16_t port() const { return port_; }
+  /// Acquire pairs with the release store in Start(): a caller seeing
+  /// true also sees the bound port_ and handler table.
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   /// Stops the serving thread and closes the listening socket. Idempotent;

@@ -58,6 +58,10 @@ class Telemetry {
   /// (TraceClock), in nanoseconds. Zero in sim mode (one shared timebase);
   /// in real mode each NodeRuntime sets it at first Start so the
   /// ClusterTraceMerger can shift per-node events onto one axis.
+  /// Relaxed on both sides: written once in NodeRuntime::Start before the
+  /// loop/transport threads exist (thread creation is the ordering edge);
+  /// a racing early reader only mis-shifts a trace timestamp, never
+  /// corrupts state.
   uint64_t trace_anchor_ns() const {
     return trace_anchor_ns_.load(std::memory_order_relaxed);
   }

@@ -26,7 +26,7 @@ void WriteArgs(JsonWriter& writer, const TraceArgs& args) {
 }  // namespace
 
 void TraceRecorder::RegisterTrack(uint32_t track, const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   track_names_[track] = name;
 }
 
@@ -35,7 +35,7 @@ void TraceRecorder::RecordSpan(uint32_t track, const char* category,
                                TraceArgs args) {
   if (!enabled_) return;
   if (end < start) end = start;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(Event{EventKind::kSpan, track, category, name, start, end,
                           0, args});
 }
@@ -44,7 +44,7 @@ void TraceRecorder::RecordInstant(uint32_t track, const char* category,
                                   const char* name, SimTime at,
                                   TraceArgs args) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(
       Event{EventKind::kInstant, track, category, name, at, at, 0, args});
 }
@@ -52,28 +52,28 @@ void TraceRecorder::RecordInstant(uint32_t track, const char* category,
 void TraceRecorder::RecordCounter(uint32_t track, const char* name, SimTime at,
                                   double value) {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.push_back(Event{EventKind::kCounter, track, nullptr, name, at, at,
                           value, TraceArgs{}});
 }
 
 size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   events_.clear();
 }
 
 std::vector<TraceRecorder::Event> TraceRecorder::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return events_;
 }
 
 std::map<uint32_t, std::string> TraceRecorder::track_names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return track_names_;
 }
 

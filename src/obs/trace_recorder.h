@@ -4,13 +4,14 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/json_writer.h"
 #include "sim/time.h"
 
@@ -100,10 +101,15 @@ class TraceRecorder {
   Status WriteChromeTraceFile(const std::string& path) const;
 
  private:
+  /// Flipped only while no other thread records (set_enabled contract);
+  /// reads on the hot path stay lock-free.
   bool enabled_ = false;
-  mutable std::mutex mu_;
-  std::vector<Event> events_;
-  std::map<uint32_t, std::string> track_names_;
+  // kObsRecorder: recorders are called from net/runtime code that may
+  // already hold its own lock (e.g. TcpTransport::RecordNetEvent under
+  // tcp.mu), so they rank below nothing and above every caller.
+  mutable RankedMutex mu_{"trace_recorder.mu", LockRank::kObsRecorder};
+  std::vector<Event> events_ MASSBFT_GUARDED_BY(mu_);
+  std::map<uint32_t, std::string> track_names_ MASSBFT_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -37,9 +37,11 @@ RealCluster::~RealCluster() {
   // Join the stats-server thread first: its handlers Call into runtimes,
   // so no handler may be in flight while the runtimes are torn down.
   stats_server_.Stop();
-  sampling_.store(false);
+  // Relaxed: the join below is the ordering edge; the flag only asks the
+  // sampler thread to wind down.
+  sampling_.store(false, std::memory_order_relaxed);
   if (sampler_.joinable()) sampler_.join();
-  std::lock_guard<std::mutex> lock(introspection_mu_);
+  MutexLock lock(&introspection_mu_);
   for (auto& rt : runtimes_) rt->Stop();
 }
 
@@ -164,7 +166,7 @@ void RealCluster::OnTxnCommitted(const Transaction& txn) {
 Status RealCluster::KillNode(NodeId id) {
   // Serialized against stats handlers: Stop() clears the node's queue, so
   // a concurrent handler Call posted-but-unprocessed would never resolve.
-  std::lock_guard<std::mutex> lock(introspection_mu_);
+  MutexLock lock(&introspection_mu_);
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr)
     return Status::NotFound("no such node " + NodeName(id));
@@ -193,7 +195,7 @@ Status RealCluster::KillNode(NodeId id) {
 }
 
 Status RealCluster::RestartNode(NodeId id) {
-  std::lock_guard<std::mutex> lock(introspection_mu_);
+  MutexLock lock(&introspection_mu_);
   NodeRuntime* rt = runtime(id);
   if (rt == nullptr)
     return Status::NotFound("no such node " + NodeName(id));
@@ -248,7 +250,14 @@ Status RealCluster::IssueWindow() {
     if (config_.restart_at_s > config_.crash_at_s) {
       sleep_until_offset(std::min(config_.restart_at_s,
                                   config_.duration_seconds));
-      for (NodeId id : killed_) MASSBFT_RETURN_IF_ERROR(RestartNode(id));
+      // Copy under the lock: a stats handler could be inside KillNode
+      // growing killed_ while we iterate (RestartNode re-acquires).
+      std::vector<NodeId> to_restart;
+      {
+        MutexLock lock(&introspection_mu_);
+        to_restart = killed_;
+      }
+      for (NodeId id : to_restart) MASSBFT_RETURN_IF_ERROR(RestartNode(id));
     }
   }
   sleep_until_offset(config_.duration_seconds);
@@ -284,7 +293,9 @@ bool RealCluster::DrainUntilStable() {
         all_equal = all_equal && fp == first;
       }
     }
-    uint64_t committed = committed_.load();
+    // Relaxed: a monotone progress probe — a stale read only costs one
+    // extra settle round.
+    uint64_t committed = committed_.load(std::memory_order_relaxed);
     if (all_equal && committed == prev_committed) {
       if (had_stable_round) return true;
       had_stable_round = true;
@@ -316,7 +327,7 @@ std::string RealCluster::MetricsText() {
   std::vector<obs::LabeledSnapshot> snapshots;
   snapshots.reserve(runtimes_.size());
   {
-    std::lock_guard<std::mutex> lock(introspection_mu_);
+    MutexLock lock(&introspection_mu_);
     for (auto& rt : runtimes_) {
       NodeRuntime* raw = rt.get();
       obs::LabeledSnapshot labeled;
@@ -339,7 +350,10 @@ std::string RealCluster::HealthJson() {
   w.BeginObject();
   w.Member("mode", "real");
   w.Member("committed_txns", committed_.load(std::memory_order_relaxed));
-  w.Member("nodes_killed", nodes_killed_);
+  {
+    MutexLock lock(&introspection_mu_);
+    w.Member("nodes_killed", nodes_killed_);
+  }
   uint64_t faults = 0;
   for (const FaultInjectingTransport* injector : fault_transports_)
     faults += injector->fault_stats().total();
@@ -347,7 +361,7 @@ std::string RealCluster::HealthJson() {
   w.Key("nodes");
   w.BeginArray();
   {
-    std::lock_guard<std::mutex> lock(introspection_mu_);
+    MutexLock lock(&introspection_mu_);
     for (auto& rt : runtimes_) {
       NodeRuntime* raw = rt.get();
       const bool running = raw->running();
@@ -435,30 +449,35 @@ Result<ExperimentResult> RealCluster::Run() {
 
   // Timeline sampler: one thread turning the shared commit counters into
   // per-bucket throughput/latency points (ExperimentResult::timeline).
-  sampling_.store(true);
+  // Relaxed: std::thread creation below happens-before the sampler's
+  // first load of the flag.
+  sampling_.store(true, std::memory_order_relaxed);
   sampler_ = std::thread([this, wall_start] { SamplerLoop(wall_start); });
   // Stops the sampler and (on the failure paths) preserves the evidence:
   // flight recorders to stderr, merged trace to the configured path.
   auto finish_sampling = [this] {
-    sampling_.store(false);
+    // Relaxed: the join provides the ordering edge (see ~RealCluster).
+    sampling_.store(false, std::memory_order_relaxed);
     if (sampler_.joinable()) sampler_.join();
   };
   auto fail = [&](const char* why, Status status) -> Status {
     finish_sampling();
     DumpFlightRecorders(why);
     if (!config_.trace_path.empty()) (void)WriteMergedTrace(config_.trace_path);
-    std::lock_guard<std::mutex> lock(introspection_mu_);
+    MutexLock lock(&introspection_mu_);
     for (auto& rt : runtimes_) rt->Stop();
     return status;
   };
 
-  issuing_.store(true);
+  // Relaxed: commit callbacks only read issuing_ to decide whether to
+  // resubmit; a stale true issues at most one extra transaction.
+  issuing_.store(true, std::memory_order_relaxed);
   for (size_t i = 0; i < clients_.size(); ++i) SubmitNext(i);
 
   // Sleep out the issuing window, executing the crash/restart schedule at
   // its configured offsets.
   MASSBFT_RETURN_IF_ERROR(IssueWindow());
-  issuing_.store(false);
+  issuing_.store(false, std::memory_order_relaxed);
   const double issue_window_s =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
 
@@ -485,7 +504,7 @@ Result<ExperimentResult> RealCluster::Run() {
     logs.push_back(rt->Call([](GroupNode& n) { return n.execution_log(); }));
   }
   {
-    std::lock_guard<std::mutex> lock(introspection_mu_);
+    MutexLock lock(&introspection_mu_);
     for (auto& rt : runtimes_) rt->Stop();
   }
 
@@ -514,7 +533,9 @@ Result<ExperimentResult> RealCluster::Run() {
 
   ExperimentResult result;
   result.mode = "real";
-  result.committed_txns = committed_.load();
+  // Relaxed: every runtime has been stopped (threads joined), so all
+  // commit increments already happened-before this read.
+  result.committed_txns = committed_.load(std::memory_order_relaxed);
   result.throughput_tps =
       static_cast<double>(result.committed_txns) / issue_window_s;
   std::vector<double> all_latencies;
@@ -543,7 +564,10 @@ Result<ExperimentResult> RealCluster::Run() {
   }
   for (const FaultInjectingTransport* injector : fault_transports_)
     result.faults_injected += injector->fault_stats().total();
-  result.nodes_killed = nodes_killed_;
+  {
+    MutexLock lock(&introspection_mu_);
+    result.nodes_killed = nodes_killed_;
+  }
   if (!logs.empty()) result.entries_proposed = logs[0].size();
   result.timeline = timeline_;
   result.wall_ms = MsSince(wall_start);

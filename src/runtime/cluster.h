@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/experiment.h"
@@ -174,6 +174,10 @@ class RealCluster {
   /// Per-group latency samples (ms), same single-writer discipline.
   std::vector<std::vector<double>> latencies_;
 
+  /// All cross-thread counters below use relaxed ordering: they are
+  /// independent monotone tallies read for progress probes and reporting,
+  /// and every read that must be exact happens after a thread join that
+  /// already provides the synchronizes-with edge.
   std::atomic<bool> issuing_{false};
   std::atomic<uint64_t> committed_{0};
   /// Sum of commit latencies in microseconds (with committed_, lets the
@@ -185,8 +189,10 @@ class RealCluster {
   /// Serializes node lifecycle transitions (KillNode/RestartNode/final
   /// stop) against stats-server handlers: a handler's NodeRuntime::Call
   /// must never overlap a Stop() that would clear the queued call before
-  /// it runs. Leaf lock below the handlers; never taken on event loops.
-  std::mutex introspection_mu_;
+  /// it runs. Outermost rank: held across runtime/transport teardown,
+  /// never taken on event loops.
+  RankedMutex introspection_mu_{"cluster.introspection_mu",
+                                LockRank::kClusterIntrospection};
   obs::StatsServer stats_server_;
 
   /// Timeline sampler (real-mode ExperimentResult::timeline). The sampler
@@ -199,8 +205,8 @@ class RealCluster {
   /// transport chain); empty when net_faults.any() is false.
   std::vector<FaultInjectingTransport*> fault_transports_;
   /// Nodes crash-stopped by KillNode (in kill order).
-  std::vector<NodeId> killed_;
-  int nodes_killed_ = 0;
+  std::vector<NodeId> killed_ MASSBFT_GUARDED_BY(introspection_mu_);
+  int nodes_killed_ MASSBFT_GUARDED_BY(introspection_mu_) = 0;
 };
 
 }  // namespace massbft

@@ -64,7 +64,7 @@ NodeRuntime::~NodeRuntime() { Stop(); }
 Status NodeRuntime::Start() {
   bool first_start;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (running_) return Status::FailedPrecondition("runtime already running");
     running_ = true;
     first_start = !started_once_;
@@ -84,7 +84,7 @@ Status NodeRuntime::Start() {
   }
   Status s = transport_->Start([this](Frame frame) { Deliver(std::move(frame)); });
   if (!s.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     running_ = false;
     return s;
   }
@@ -104,7 +104,7 @@ void NodeRuntime::Stop() {
   // wake and join the loop.
   if (transport_) transport_->Stop();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return;
     running_ = false;
   }
@@ -115,13 +115,13 @@ void NodeRuntime::Stop() {
       static_cast<double>(id_.Packed()), 0);
   // Work posted but never run dies here; a restart must not replay a
   // stale batch from before the crash.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   queue_.clear();
 }
 
 bool NodeRuntime::Post(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (!running_) return false;
     queue_.push_back(std::move(fn));
   }
@@ -162,15 +162,15 @@ void NodeRuntime::Loop() {
   std::vector<std::function<void()>> batch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (queue_.empty() && running_) {
         SimTime next = sim_.NextEventTime();
         if (next == Simulator::kNoEvent) {
           // No pending timers: sleep until a message or Stop() wakes us.
           // The bounded wait is belt-and-braces against a lost notify.
-          cv_.wait_for(lock, std::chrono::milliseconds(50));
+          cv_.wait_for(mu_, std::chrono::milliseconds(50));
         } else {
-          cv_.wait_until(lock, epoch_ + std::chrono::nanoseconds(next));
+          cv_.wait_until(mu_, epoch_ + std::chrono::nanoseconds(next));
         }
       }
       if (!running_) break;

@@ -6,12 +6,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/group_node.h"
 #include "net/transport.h"
@@ -123,7 +124,7 @@ class NodeRuntime {
 
   /// True between a successful Start() and the next Stop().
   bool running() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return running_;
   }
 
@@ -158,7 +159,7 @@ class NodeRuntime {
   /// Work items queued for the event loop but not yet run (introspection;
   /// a sustained backlog means the loop cannot keep up with delivery).
   size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     return queue_.size();
   }
 
@@ -178,11 +179,16 @@ class NodeRuntime {
   ClusterContext ctx_;
   std::unique_ptr<GroupNode> node_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::function<void()>> queue_;
-  bool running_ = false;
-  bool started_once_ = false;
+  // kRuntimeQueue: Post/Deliver grab it from transport reader threads with
+  // no other ranked lock held; the loop never calls out while holding it.
+  mutable RankedMutex mu_{"runtime.mu", LockRank::kRuntimeQueue};
+  /// Signaled under mu_ (new queue_ item or Stop()).
+  std::condition_variable_any cv_;
+  std::vector<std::function<void()>> queue_ MASSBFT_GUARDED_BY(mu_);
+  bool running_ MASSBFT_GUARDED_BY(mu_) = false;
+  bool started_once_ MASSBFT_GUARDED_BY(mu_) = false;
+  /// Written once under mu_ by the first Start() (before the loop thread
+  /// exists) and immutable afterwards; Elapsed() reads it lock-free.
   std::chrono::steady_clock::time_point epoch_;
   std::thread thread_;
 };

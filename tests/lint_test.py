@@ -77,6 +77,26 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(rules, [("D4", "nodiscard")] * 2,
                          "DecodeThing and VerifyThing")
 
+    def test_d6_mutex_guard_fires_on_each_unchecked_member(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/net/bad_mutex_members.h")]
+        self.assertEqual(rules, [("D6", "mutex-guard")] * 3,
+                         "bare std::mutex, annotation-free RankedMutex, "
+                         "undocumented condition_variable")
+
+    def test_d7_bare_lock_fires_outside_raii_guards(self):
+        rules = [(f[2], f[3]) for f in
+                 self.findings_for("src/net/bad_bare_lock.cc")]
+        self.assertEqual(rules, [("D7", "bare-lock")] * 2,
+                         ".lock() and .unlock(); the suppressed handoff "
+                         "call must stay silent")
+
+    def test_annotated_concurrency_state_is_silent(self):
+        self.assertEqual(self.findings_for("src/net/annotated_ok.h"), [],
+                         "GUARDED_BY-covered RankedMutex, a documented "
+                         "condvar, a MutexLock guard and a reasoned "
+                         "std::mutex suppression must not fire D5/D6/D7")
+
     def test_d5_flags_stale_suppressions(self):
         rules = [(f[2], f[3]) for f in
                  self.findings_for("src/sim/unused_suppression.cc")]
@@ -123,6 +143,7 @@ class FixtureTest(unittest.TestCase):
             "src/sim/unused_suppression.cc",
             "src/runtime/stale_suppression.cc",
             "src/obs/bad_obs_wallclock.cc",
+            "src/net/bad_mutex_members.h", "src/net/bad_bare_lock.cc",
         }
         self.assertEqual({f[0] for f in self.findings}, expected_files)
 

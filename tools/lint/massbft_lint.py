@@ -27,6 +27,18 @@ This linter machine-checks the cheap 80% of that (DESIGN.md §11). Rules:
                       [[nodiscard]], and factory/decoder/verifier APIs
                       (Decode*/Verify*/Make*/Create*/Build*/Parse*)
                       declared in src/ headers must carry [[nodiscard]].
+  D6 mutex-guard      Concurrency state in src/ must be visible to clang
+                      thread-safety analysis (DESIGN.md §16): no bare
+                      std::mutex members (declare RankedMutex with a
+                      LockRank instead), every RankedMutex must be named
+                      by at least one MASSBFT_* annotation in its file,
+                      and every condition_variable member needs a nearby
+                      comment naming the mutex it is signaled under.
+  D7 bare-lock        No bare .lock()/.unlock()/.try_lock() calls in
+                      src/: locking goes through the MutexLock RAII guard
+                      (common/lock_rank.h), so every acquisition is
+                      annotation-checked and rank-checked and no error
+                      path can leak a held lock.
 
 Suppressions (must carry a non-empty reason; unused suppressions are
 themselves findings so stale ones cannot accumulate):
@@ -49,6 +61,8 @@ RULES = {
     "kernel-oracle": "D3",
     "nodiscard": "D4",
     "unused-suppression": "D5",
+    "mutex-guard": "D6",
+    "bare-lock": "D7",
 }
 
 # Directory policy table (prefix match, relative to the repo root): which
@@ -147,6 +161,23 @@ FACTORY_DECL_RE = re.compile(
 NODISCARD_CLASS_RE = re.compile(
     r"\bclass\s+\[\[nodiscard\]\]\s+(Status|Result)\b")
 PLAIN_CLASS_RE = re.compile(r"\bclass\s+(Status|Result)\b")
+
+# D6: mutex-ish declarations. `std::mutex name;` (any std mutex flavour)
+# is flagged outright — libstdc++ mutexes carry no capability attributes,
+# so clang's analysis cannot see data they guard. RankedMutex declarations
+# are collected and required to appear in >= 1 MASSBFT_* annotation.
+PLAIN_MUTEX_DECL_RE = re.compile(
+    r"\b(?:std::)?((?:recursive_|timed_|shared_)?mutex)\s+"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*[;{=]")
+RANKED_MUTEX_DECL_RE = re.compile(
+    r"\bRankedMutex\s+([A-Za-z_][A-Za-z0-9_]*)\s*[;{(=]")
+CONDVAR_DECL_RE = re.compile(
+    r"\b(?:std::)?condition_variable(?:_any)?\s+"
+    r"([A-Za-z_][A-Za-z0-9_]*)\s*[;{=]")
+# D7: member access followed by a raw lock-protocol call. The identifier
+# set is exact (lock/unlock/try_lock), so `.Clock()` / `.block()` cannot
+# match.
+BARE_LOCK_RE = re.compile(r"(?:\.|->)\s*(try_lock|unlock|lock)\s*\(\s*\)")
 
 
 class Finding:
@@ -394,6 +425,76 @@ def check_d4_nodiscard(ctx, findings):
             "(suppress: // lint: nodiscard-ok(why))" % m.group(1)))
 
 
+def check_d6_mutex_guard(ctx, findings):
+    """Annotation coverage for concurrency state (src/ only; tests and
+    benches may use raw std primitives for their own scaffolding)."""
+    if not ctx.relpath.startswith("src/"):
+        return
+    plain, ranked, condvars = [], [], []
+    for i, code in enumerate(ctx.code, start=1):
+        m = PLAIN_MUTEX_DECL_RE.search(code)
+        if m:
+            plain.append((i, m.group(1), m.group(2)))
+        m = RANKED_MUTEX_DECL_RE.search(code)
+        if m:
+            ranked.append((i, m.group(1)))
+        m = CONDVAR_DECL_RE.search(code)
+        if m:
+            condvars.append((i, m.group(1)))
+    mutex_names = {n for _, n in ranked} | {n for _, _, n in plain}
+
+    for i, flavour, name in plain:
+        if ctx.suppressed("mutex-guard", i):
+            continue
+        findings.append(Finding(
+            ctx.relpath, i, "mutex-guard",
+            "std::%s '%s' is invisible to thread-safety analysis; declare "
+            "it RankedMutex with a LockRank (common/lock_rank.h) so "
+            "MASSBFT_GUARDED_BY members are compiler-checked (suppress: "
+            "// lint: mutex-guard-ok(why))" % (flavour, name)))
+    for i, name in ranked:
+        covered = re.compile(r"MASSBFT_[A-Z_]+\([^)]*\b%s\b"
+                             % re.escape(name))
+        if any(covered.search(code) for code in ctx.code):
+            continue
+        if ctx.suppressed("mutex-guard", i):
+            continue
+        findings.append(Finding(
+            ctx.relpath, i, "mutex-guard",
+            "RankedMutex '%s' guards nothing: annotate the state it "
+            "protects MASSBFT_GUARDED_BY(%s) or a method "
+            "MASSBFT_REQUIRES(%s) in this file (suppress: // lint: "
+            "mutex-guard-ok(why))" % (name, name, name)))
+    for i, name in condvars:
+        # The decl line or the two raw lines above must name a declared
+        # mutex member — the wait-protocol contract a reader needs.
+        window = ctx.lines[max(0, i - 3):i]
+        documented = any(
+            re.search(r"\b%s\b" % re.escape(mx), line)
+            for mx in mutex_names for line in window)
+        if documented or ctx.suppressed("mutex-guard", i):
+            continue
+        findings.append(Finding(
+            ctx.relpath, i, "mutex-guard",
+            "condition_variable '%s' has no comment naming the mutex it "
+            "is signaled under; document the wait protocol next to the "
+            "declaration (suppress: // lint: mutex-guard-ok(why))" % name))
+
+
+def check_d7_bare_lock(ctx, findings):
+    if not ctx.relpath.startswith("src/"):
+        return
+    for i, code in enumerate(ctx.code, start=1):
+        m = BARE_LOCK_RE.search(code)
+        if m and not ctx.suppressed("bare-lock", i):
+            findings.append(Finding(
+                ctx.relpath, i, "bare-lock",
+                "bare .%s() call: scope a MutexLock guard "
+                "(common/lock_rank.h) instead — RAII keeps every "
+                "acquisition rank-checked and exception-safe (suppress: "
+                "// lint: bare-lock-ok(why))" % m.group(1)))
+
+
 def check_unused_suppressions(ctx, findings):
     for (line, rule), used in sorted(ctx.suppression_sites.items()):
         if not used and rule != "unused-suppression":
@@ -437,6 +538,8 @@ def run(root, explicit_paths):
         check_d1_wallclock(ctx, findings)
         check_d2_unordered_iter(ctx, unordered_names, findings)
         check_d4_nodiscard(ctx, findings)
+        check_d6_mutex_guard(ctx, findings)
+        check_d7_bare_lock(ctx, findings)
     check_d3_kernel_oracle(contexts, findings)
     for ctx in contexts.values():
         check_unused_suppressions(ctx, findings)
@@ -446,8 +549,8 @@ def run(root, explicit_paths):
 
 def main(argv):
     parser = argparse.ArgumentParser(
-        description="MassBFT determinism & status-discipline linter "
-                    "(rules D1-D4, DESIGN.md §11)")
+        description="MassBFT determinism, status- and lock-discipline "
+                    "linter (rules D1-D7, DESIGN.md §11/§16)")
     parser.add_argument("--root", default=".",
                         help="repository root (default: cwd)")
     parser.add_argument("--list-rules", action="store_true",

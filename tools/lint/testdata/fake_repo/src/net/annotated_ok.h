@@ -1,0 +1,26 @@
+// Fixture: fully annotated concurrency state — D6/D7 must stay silent,
+// and the reasoned std::mutex suppression must count as used (no D5).
+#ifndef FAKE_ANNOTATED_OK_H_
+#define FAKE_ANNOTATED_OK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+class AnnotatedOk {
+ public:
+  void Push(int v) {
+    MutexLock lock(&mu_);
+    depth_ += v;
+    cv_.notify_one();
+  }
+
+ private:
+  RankedMutex mu_{"fake.queue", LockRank::kRuntimeQueue};
+  int depth_ MASSBFT_GUARDED_BY(mu_) = 0;
+  /// Signaled under mu_ whenever depth_ grows.
+  std::condition_variable_any cv_;
+  // lint: mutex-guard-ok(handle passed to a C library expecting pthread)
+  std::mutex legacy_mu_;
+};
+
+#endif  // FAKE_ANNOTATED_OK_H_

@@ -1,0 +1,12 @@
+// Fixture: D7 bare-lock — raw lock-protocol calls outside the RAII
+// guard, plus one sanctioned (suppressed) call that must stay silent.
+
+void BadBareLock() {
+  mu_.lock();
+  counter_++;
+  mu_.unlock();
+}
+
+void SanctionedHandoff() {
+  mu_.unlock();  // lint: bare-lock-ok(ownership handed to a C callback)
+}

@@ -1,0 +1,21 @@
+// Fixture: every D6 mutex-guard failure mode, one per member.
+#ifndef FAKE_BAD_MUTEX_MEMBERS_H_
+#define FAKE_BAD_MUTEX_MEMBERS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+class BadMutexMembers {
+ private:
+  // Finding 1: a bare std::mutex member is invisible to thread-safety
+  // analysis.
+  std::mutex plain_mu_;
+  // Finding 2: a RankedMutex that no MASSBFT_* annotation in this file
+  // ever names — it guards nothing the compiler can check.
+  RankedMutex orphan_mu_{"fake.orphan", LockRank::kTransport};
+  // Finding 3: a condition_variable with no comment naming the mutex it
+  // is signaled under.
+  std::condition_variable_any cv_;
+};
+
+#endif  // FAKE_BAD_MUTEX_MEMBERS_H_
