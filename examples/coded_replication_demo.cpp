@@ -45,7 +45,7 @@ int main() {
   cert.digest = entry->digest();
   Bytes payload(cert.digest.begin(), cert.digest.end());
   for (uint16_t i = 0; i < 3; ++i)  // 2f+1 = 3 signatures for n = 4.
-    cert.sigs.emplace_back(NodeId{1, i}, registry.Sign(NodeId{1, i}, payload));
+    cert.AddSignature(i, registry.Sign(NodeId{1, i}, payload));
   std::printf("entry e_{1,0}: %d txns, %zu bytes, certified by 3/4 nodes\n\n",
               entry->num_txns(), entry->ByteSize());
 

@@ -8,8 +8,14 @@
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/real_cluster [--tcp] [--seconds N] [--clients N]
-//                                 [--faults PRESET] [--trace=FILE]
-//                                 [--stats-port=P] [--bench-out=FILE]
+//                                 [--faults PRESET] [--crypto=SCHEME]
+//                                 [--trace=FILE] [--stats-port=P]
+//                                 [--bench-out=FILE]
+//
+// Crypto (DESIGN.md §17):
+//   --crypto=SCHEME   ed25519 (default): real RFC 8032 signatures with
+//                     batched certificate verification; hmac: the
+//                     simulated-PKI stand-in the figure benches use.
 //
 // Observability (DESIGN.md §14):
 //   --trace=FILE      merged cluster-wide Chrome trace (one process per
@@ -96,6 +102,19 @@ int main(int argc, char** argv) {
   std::string bench_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tcp") == 0) config.use_tcp = true;
+    if (std::strncmp(argv[i], "--crypto=", 9) == 0) {
+      const char* scheme = argv[i] + 9;
+      if (std::strcmp(scheme, "ed25519") == 0) {
+        config.crypto = CryptoScheme::kEd25519;
+      } else if (std::strcmp(scheme, "hmac") == 0) {
+        config.crypto = CryptoScheme::kSimulatedHmac;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --crypto scheme '%s' (want ed25519, hmac)\n",
+                     scheme);
+        return 2;
+      }
+    }
     if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc)
       config.duration_seconds = std::stod(argv[++i]);
     if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc)
@@ -121,8 +140,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("transport: %s, faults: %s\n",
-              config.use_tcp ? "tcp" : "in-process", preset.c_str());
+  std::printf("transport: %s, faults: %s, crypto: %s\n",
+              config.use_tcp ? "tcp" : "in-process", preset.c_str(),
+              CryptoSchemeName(config.crypto));
 
   RealCluster cluster(config);
   Status setup = cluster.Setup();

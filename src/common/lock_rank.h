@@ -51,6 +51,7 @@ enum class LockRank : int {
   kTransport = 40,             // TcpTransport / InProc hub + endpoints
   kBufferPool = 50,            // WireBufferPool free list (under kTransport)
   kObsRecorder = 60,           // Trace/Flight recorders (under kTransport)
+  kCryptoKeys = 65,            // KeyRegistry key material; leaf-like
   kLeafCache = 70,             // process-wide memo caches (RS factory); leaf
 };
 

@@ -44,7 +44,7 @@ void DigestCertifier::Start(const DecisionId& decision) {
     Certificate cert;
     cert.gid = gid_;
     cert.digest = digest;
-    cert.sigs.emplace_back(self_, own);
+    cert.AddSignature(self_.index, own);
     cb_.on_certified(p.decision, std::move(cert));
   }
 }
@@ -79,8 +79,8 @@ void DigestCertifier::OnMessage(NodeId from, const MessagePtr& message) {
         cert.gid = gid_;
         cert.digest = digest;
         for (const auto& [index, sig] : p.votes) {
-          cert.sigs.emplace_back(NodeId{gid_, index}, sig);
-          if (static_cast<int>(cert.sigs.size()) == quorum()) break;
+          cert.AddSignature(index, sig);
+          if (static_cast<int>(cert.NumSignatures()) == quorum()) break;
         }
         cb_.on_certified(p.decision, std::move(cert));
       }

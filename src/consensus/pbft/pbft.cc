@@ -187,8 +187,8 @@ void PbftEngine::MaybeCommit(uint64_t seq) {
   cert.gid = gid_;
   cert.digest = inst.digest;
   for (const auto& [index, sig] : inst.commits) {
-    cert.sigs.emplace_back(NodeId{gid_, index}, sig);
-    if (static_cast<int>(cert.sigs.size()) == quorum()) break;
+    cert.AddSignature(index, sig);
+    if (static_cast<int>(cert.NumSignatures()) == quorum()) break;
   }
   cb_.on_committed(inst.entry, std::move(cert));
 }

@@ -28,6 +28,8 @@ std::string ExperimentResult::ToJson() const {
   obs::JsonWriter w(out);
   w.BeginObject();
   w.Member("mode", mode);
+  w.Member("crypto_mode", crypto_mode);
+  w.Member("verify_batch_ratio", verify_batch_ratio);
   w.Member("throughput_tps", throughput_tps);
   w.Member("mean_latency_ms", mean_latency_ms);
   w.Member("p50_latency_ms", p50_latency_ms);
@@ -287,6 +289,8 @@ ExperimentResult Experiment::Run() {
       registry.GetCounter("exec/conflict_aborts")->value();
 
   ExperimentResult result;
+  result.crypto_mode = registry_->scheme_name();
+  result.verify_batch_ratio = registry_->verify_batch_ratio();
   result.throughput_tps = metrics_->ThroughputTps();
   result.mean_latency_ms = metrics_->MeanLatencyMs();
   result.p50_latency_ms = metrics_->P50LatencyMs();

@@ -62,6 +62,12 @@ struct ExperimentResult {
   /// "sim" for discrete-event runs, "real" when produced by the threaded
   /// runtime over an actual transport (runtime/RealCluster).
   std::string mode = "sim";
+  /// Signature backend the run used (CryptoSchemeName: "hmac-sim" or
+  /// "ed25519").
+  std::string crypto_mode = "hmac-sim";
+  /// Fraction of signature checks that rode the batched certificate path
+  /// (KeyRegistry::verify_batch_ratio).
+  double verify_batch_ratio = 0;
   double throughput_tps = 0;
   double mean_latency_ms = 0;
   double p50_latency_ms = 0;

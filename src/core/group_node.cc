@@ -133,7 +133,7 @@ bool GroupNode::VerifyGroupCert(const Certificate& cert,
   if (cert.digest != digest) return false;
   if (cert.gid >= num_groups()) return false;
   int quorum = 2 * group_f(cert.gid) + 1;
-  cpu().ChargeVerify(static_cast<int>(cert.sigs.size()));
+  cpu().ChargeVerify(static_cast<int>(cert.NumSignatures()));
   return cert.Verify(*ctx_->registry, quorum);
 }
 

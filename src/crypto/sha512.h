@@ -1,0 +1,58 @@
+#ifndef MASSBFT_CRYPTO_SHA512_H_
+#define MASSBFT_CRYPTO_SHA512_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace massbft {
+
+/// A SHA-512 digest. ed25519 (RFC 8032) hashes with SHA-512 everywhere:
+/// key expansion, the deterministic nonce, and the challenge scalar.
+using Digest512 = std::array<uint8_t, 64>;
+
+/// Incremental SHA-512 (FIPS 180-4), implemented from scratch — validated
+/// against the NIST known-answer vectors in tests/crypto_test.cc. Scalar
+/// only: unlike SHA-256 there is no widely-available fixed-function
+/// instruction for SHA-512 on our CI targets, and the ed25519 hot path is
+/// dominated by curve arithmetic, not hashing.
+class Sha512 {
+ public:
+  Sha512() { Reset(); }
+
+  void Reset();
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// reuse.
+  [[nodiscard]] Digest512 Finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest512 Hash(const uint8_t* data, size_t len);
+  [[nodiscard]] static Digest512 Hash(const Bytes& data) {
+    return Hash(data.data(), data.size());
+  }
+  [[nodiscard]] static Digest512 Hash(std::string_view s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint64_t state_[8];
+  /// Total message length in bytes; SHA-512's 128-bit length field only
+  /// matters beyond 2^64 bits, far past anything we hash.
+  uint64_t byte_count_;
+  uint8_t buffer_[128];
+  size_t buffer_len_;
+};
+
+}  // namespace massbft
+
+#endif  // MASSBFT_CRYPTO_SHA512_H_

@@ -33,7 +33,8 @@ namespace massbft {
 
 /// On-wire bytes 'M' 'B' 'F' 'T' read as a little-endian u32.
 constexpr uint32_t kWireMagic = 0x5446424Du;
-constexpr uint8_t kWireVersion = 2;
+// v3: compact bitmap certificate encoding inside frame bodies.
+constexpr uint8_t kWireVersion = 3;
 constexpr size_t kFrameHeaderBytes = 19;
 constexpr uint8_t kFrameFlagTraceContext = 0x01;
 // The simulator charges kFrameOverheadBytes per message; the real wire must

@@ -86,18 +86,55 @@ using EntryPtr = std::shared_ptr<const Entry>;
 /// PBFT certificate: >= 2f+1 signatures from one group over an entry (or
 /// decision) digest. Protects entries from tampering during global
 /// replication (paper Section II-A).
-struct Certificate {
+///
+/// Compact representation (wire v3, DESIGN.md §17): signers are recorded
+/// as an ordered participation bitmap over node indices of group `gid`
+/// (bit i = node {gid, i} signed), and the signatures ride in a parallel
+/// array sorted by index. Versus the old explicit (NodeId, Signature)
+/// pair list this drops the per-signature 4-byte id to ~1/8 byte, makes
+/// duplicate signers unrepresentable, and makes foreign-group signers
+/// unencodable — two whole classes of malformed certificate gone by
+/// construction.
+class Certificate {
+ public:
   uint16_t gid = 0;
   Digest digest{};
-  std::vector<std::pair<NodeId, Signature>> sigs;
+
+  /// Records node {gid, index}'s signature. Idempotent: re-adding an
+  /// index keeps the first signature (duplicates can't inflate a quorum).
+  void AddSignature(uint16_t index, const Signature& sig);
+
+  [[nodiscard]] size_t NumSignatures() const { return sigs_.size(); }
+  [[nodiscard]] bool HasSigner(uint16_t index) const;
+  /// Signer indices in ascending order.
+  [[nodiscard]] std::vector<uint16_t> Signers() const;
+  /// Signatures in ascending signer-index order, parallel to Signers().
+  const std::vector<Signature>& Signatures() const { return sigs_; }
 
   void EncodeTo(BinaryWriter* w) const;
   [[nodiscard]] static Result<Certificate> DecodeFrom(BinaryReader* r);
-  size_t ByteSize() const { return 2 + 32 + 2 + sigs.size() * (4 + 64); }
+  /// Derived, not hardcoded: header + bitmap + packed signature array.
+  size_t ByteSize() const {
+    return 2 + digest.size() + 2 + bitmap_.size() +
+           sigs_.size() * sizeof(Signature);
+  }
 
   /// True if the certificate carries at least `quorum` valid signatures
-  /// from distinct nodes of group `gid` over `digest`.
-  [[nodiscard]] bool Verify(const KeyRegistry& registry, int quorum) const;
+  /// over `digest`. The hot path batch-verifies all signatures in one
+  /// pass (one multi-scalar multiplication under ed25519); only if that
+  /// combined check fails does it fall back to per-signature verification
+  /// to count the valid ones — and, when `forgers` is non-null, to name
+  /// the indices whose signatures failed.
+  [[nodiscard]] bool Verify(const KeyRegistry& registry, int quorum,
+                            std::vector<uint16_t>* forgers = nullptr) const;
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+
+ private:
+  /// Participation bitmap, little-endian within each byte (bit i of byte
+  /// b = node index 8*b + i). Canonical: never has a trailing zero byte.
+  Bytes bitmap_;
+  std::vector<Signature> sigs_;
 };
 
 }  // namespace massbft

@@ -50,7 +50,13 @@ Status RealCluster::Setup() {
   MASSBFT_ASSIGN_OR_RETURN(Topology topo,
                            Topology::Create(config_.topology));
   topology_ = std::make_unique<Topology>(std::move(topo));
-  registry_ = std::make_unique<KeyRegistry>();
+  registry_ = std::make_unique<KeyRegistry>(config_.crypto);
+  if (config_.crypto == CryptoScheme::kEd25519) {
+    // Real crypto pays its cost in wall time; zero the simulated per-op
+    // charges so the work is not double-counted.
+    config_.protocol.cpu.sign_cost = 0;
+    config_.protocol.cpu.verify_cost = 0;
+  }
 
   TcpPortMap ports;
   if (config_.use_tcp) {
@@ -533,6 +539,8 @@ Result<ExperimentResult> RealCluster::Run() {
 
   ExperimentResult result;
   result.mode = "real";
+  result.crypto_mode = registry_->scheme_name();
+  result.verify_batch_ratio = registry_->verify_batch_ratio();
   // Relaxed: every runtime has been stopped (threads joined), so all
   // commit increments already happened-before this read.
   result.committed_txns = committed_.load(std::memory_order_relaxed);

@@ -1,12 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/cpu.h"
 #include "common/rng.h"
+#include "crypto/ed25519.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "crypto/sha512.h"
 #include "crypto/signature.h"
 
 namespace massbft {
@@ -229,6 +233,287 @@ TEST(NodeIdTest, PackUnpackRoundTrip) {
   NodeId id{513, 42};
   EXPECT_EQ(NodeId::FromPacked(id.Packed()), id);
   EXPECT_LT(NodeId({0, 5}), NodeId({1, 0}));
+}
+
+// ---------------------------------------------------------------- SHA-512
+// NIST FIPS 180-4 known-answer vectors.
+
+std::string Hex512(const Digest512& d) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(128);
+  for (uint8_t b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+TEST(Sha512Test, EmptyString) {
+  EXPECT_EQ(Hex512(Sha512::Hash("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512Test, Abc) {
+  EXPECT_EQ(Hex512(Sha512::Hash("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512Test, TwoBlockMessage) {
+  EXPECT_EQ(Hex512(Sha512::Hash(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512Test, MillionAIncremental) {
+  // Exercises block buffering across many Update() calls.
+  Sha512 h;
+  std::string chunk(999, 'a');  // Prime length: never block-aligned.
+  for (int i = 0; i < 1001; ++i) h.Update(chunk);
+  h.Update(std::string(1, 'a'));  // 999 * 1001 + 1 = 1,000,000.
+  EXPECT_EQ(Hex512(h.Finish()),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+// ---------------------------------------------------------------- ed25519
+// RFC 8032 §7.1 test vectors: public-key derivation, signing, verifying.
+
+struct Rfc8032Vector {
+  const char* secret;
+  const char* public_key;
+  const char* message;
+  const char* sig;
+};
+
+constexpr Rfc8032Vector kRfc8032Vectors[] = {
+    // TEST 1 (empty message)
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    // TEST 2 (one byte)
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c", "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    // TEST 3 (two bytes)
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+    // TEST SHA(abc): message = SHA-512("abc")
+    {"833fe62409237b9d62ec77587520911e9a759cec1d19755b7da901b96dca3d42",
+     "ec172b93ad5e563bf4932c70e1245034c35467ef2efd4d64ebf819683467e2bf",
+     "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+     "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f",
+     "dc2a4459e7369633a52b1bf277839a00201009a3efbf3ecb69bea2186c26b589"
+     "09351fc9ac90b3ecfdfbc7c66431e0303dca179c138ac17ad9bef1177331a704"},
+};
+
+Bytes FromHex(const std::string& hex) {
+  Bytes out(hex.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<uint8_t>(
+        std::stoi(hex.substr(2 * i, 2), nullptr, 16));
+  return out;
+}
+
+TEST(Ed25519Test, Rfc8032Vectors) {
+  for (const Rfc8032Vector& vec : kRfc8032Vectors) {
+    Bytes secret_bytes = FromHex(vec.secret);
+    Bytes pk_bytes = FromHex(vec.public_key);
+    Bytes msg = FromHex(vec.message);
+    Bytes sig_bytes = FromHex(vec.sig);
+
+    ed25519::SecretKey secret;
+    std::memcpy(secret.data(), secret_bytes.data(), secret.size());
+    ed25519::PublicKey pk = ed25519::DerivePublicKey(secret);
+    EXPECT_EQ(Bytes(pk.begin(), pk.end()), pk_bytes);
+
+    ed25519::Sig sig = ed25519::Sign(secret, pk, msg.data(), msg.size());
+    EXPECT_EQ(Bytes(sig.begin(), sig.end()), sig_bytes);
+    EXPECT_TRUE(ed25519::Verify(pk, msg.data(), msg.size(), sig));
+  }
+}
+
+TEST(Ed25519Test, TamperedInputsFail) {
+  ed25519::SecretKey secret{};
+  secret[0] = 42;
+  ed25519::PublicKey pk = ed25519::DerivePublicKey(secret);
+  Bytes msg = ToBytes("payload");
+  ed25519::Sig sig = ed25519::Sign(secret, pk, msg.data(), msg.size());
+  ASSERT_TRUE(ed25519::Verify(pk, msg.data(), msg.size(), sig));
+
+  for (size_t bit : {size_t{0}, size_t{250}, size_t{260}, size_t{511}}) {
+    ed25519::Sig bad = sig;
+    bad[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    EXPECT_FALSE(ed25519::Verify(pk, msg.data(), msg.size(), bad));
+  }
+  Bytes other = ToBytes("payloaX");
+  EXPECT_FALSE(ed25519::Verify(pk, other.data(), other.size(), sig));
+}
+
+TEST(Ed25519Test, MalleableScalarRejected) {
+  // RFC 8032 MUST: reject s >= L. Adding the group order to s yields a
+  // second encoding of the "same" signature; strict verifiers refuse it.
+  ed25519::SecretKey secret{};
+  secret[0] = 7;
+  ed25519::PublicKey pk = ed25519::DerivePublicKey(secret);
+  Bytes msg = ToBytes("malleability");
+  ed25519::Sig sig = ed25519::Sign(secret, pk, msg.data(), msg.size());
+  ASSERT_TRUE(ed25519::Verify(pk, msg.data(), msg.size(), sig));
+
+  static constexpr uint8_t kL[32] = {
+      0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+      0xa2, 0xde, 0xf9, 0xde, 0x14, 0,    0,    0,    0,    0,    0,
+      0,    0,    0,    0,    0,    0,    0,    0,    0,    0x10};
+  unsigned carry = 0;
+  for (int i = 0; i < 32; ++i) {
+    unsigned v = sig[32 + i] + kL[i] + carry;
+    sig[32 + i] = static_cast<uint8_t>(v);
+    carry = v >> 8;
+  }
+  EXPECT_FALSE(ed25519::Verify(pk, msg.data(), msg.size(), sig));
+}
+
+TEST(Ed25519Test, NonCanonicalPointRejected) {
+  // A public key whose y coordinate is >= p (here: p + 1, i.e. the
+  // encoding of 1 with all the high bytes of p added back) must not parse.
+  ed25519::SecretKey secret{};
+  secret[0] = 9;
+  ed25519::PublicKey pk = ed25519::DerivePublicKey(secret);
+  Bytes msg = ToBytes("canonical");
+  ed25519::Sig sig = ed25519::Sign(secret, pk, msg.data(), msg.size());
+
+  ed25519::PublicKey non_canonical;
+  non_canonical.fill(0xFF);
+  non_canonical[0] = 0xEE;   // p + 1: 2^255 - 19 + 1, little-endian.
+  non_canonical[31] = 0x7F;  // Sign bit clear.
+  EXPECT_FALSE(
+      ed25519::Verify(non_canonical, msg.data(), msg.size(), sig));
+}
+
+TEST(Ed25519Test, BatchVerifiesAndPinpointsForgery) {
+  Bytes digest = ToBytes("one shared certificate digest............");
+  constexpr int kN = 7;
+  std::vector<ed25519::PublicKey> pks(kN);
+  std::vector<ed25519::Sig> sigs(kN);
+  for (int i = 0; i < kN; ++i) {
+    ed25519::SecretKey secret{};
+    secret[0] = static_cast<uint8_t>(i + 1);
+    pks[i] = ed25519::DerivePublicKey(secret);
+    sigs[i] = ed25519::Sign(secret, pks[i], digest.data(), digest.size());
+  }
+  std::vector<ed25519::BatchItem> items;
+  for (int i = 0; i < kN; ++i) items.push_back({&pks[i], &sigs[i]});
+  EXPECT_TRUE(ed25519::VerifyBatch(items, digest.data(), digest.size()));
+
+  // One forgery poisons the whole batch; scalar Verify pinpoints it.
+  sigs[4][17] ^= 0x20;
+  EXPECT_FALSE(ed25519::VerifyBatch(items, digest.data(), digest.size()));
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(ed25519::Verify(pks[i], digest.data(), digest.size(), sigs[i]),
+              i != 4);
+  }
+
+  // Empty and single-item batches degrade gracefully.
+  EXPECT_TRUE(ed25519::VerifyBatch({}, digest.data(), digest.size()));
+  std::vector<ed25519::BatchItem> one = {{&pks[0], &sigs[0]}};
+  EXPECT_TRUE(ed25519::VerifyBatch(one, digest.data(), digest.size()));
+}
+
+// ----------------------------------------------------- SignatureScheme seam
+
+TEST(SignatureSchemeTest, Ed25519RegistryRoundTrip) {
+  KeyRegistry registry(CryptoScheme::kEd25519);
+  EXPECT_STREQ(registry.scheme_name(), "ed25519");
+  NodeId node{1, 3};
+  registry.RegisterNode(node);
+  Bytes msg = ToBytes("entry digest payload");
+  Signature sig = registry.Sign(node, msg);
+  EXPECT_TRUE(registry.Verify(node, msg, sig));
+  Bytes tampered = ToBytes("entry digest payloaX");
+  EXPECT_FALSE(registry.Verify(node, tampered, sig));
+  EXPECT_FALSE(registry.Verify(NodeId{1, 4}, msg, sig));  // Unregistered.
+}
+
+TEST(SignatureSchemeTest, SchemesProduceDistinctSignatures) {
+  KeyRegistry hmac(CryptoScheme::kSimulatedHmac);
+  KeyRegistry ed(CryptoScheme::kEd25519);
+  NodeId node{0, 0};
+  hmac.RegisterNode(node);
+  ed.RegisterNode(node);
+  Bytes msg = ToBytes("same payload");
+  EXPECT_NE(hmac.Sign(node, msg), ed.Sign(node, msg));
+  // Cross-scheme verification must fail, not crash.
+  EXPECT_FALSE(hmac.Verify(node, msg, ed.Sign(node, msg)));
+  EXPECT_FALSE(ed.Verify(node, msg, hmac.Sign(node, msg)));
+}
+
+TEST(SignatureSchemeTest, RegistryBatchVerifyCountsStats) {
+  KeyRegistry registry(CryptoScheme::kEd25519);
+  Bytes digest = ToBytes("certificate digest 32 bytes long");
+  std::vector<NodeId> nodes;
+  std::vector<Signature> sigs;
+  for (uint16_t i = 0; i < 5; ++i) {
+    NodeId node{2, i};
+    registry.RegisterNode(node);
+    nodes.push_back(node);
+    sigs.push_back(registry.Sign(node, digest));
+  }
+  std::vector<const Signature*> sig_ptrs;
+  for (const Signature& s : sigs) sig_ptrs.push_back(&s);
+  EXPECT_TRUE(
+      registry.VerifyBatch(nodes, digest.data(), digest.size(), sig_ptrs));
+  VerifyStats stats = registry.verify_stats();
+  EXPECT_EQ(stats.batch_calls, 1u);
+  EXPECT_EQ(stats.batch_signatures, 5u);
+  EXPECT_EQ(stats.batch_fallbacks, 0u);
+  EXPECT_GT(registry.verify_batch_ratio(), 0.99);
+
+  // A forged member fails the batch and records the fallback.
+  sigs[1][0] ^= 1;
+  EXPECT_FALSE(
+      registry.VerifyBatch(nodes, digest.data(), digest.size(), sig_ptrs));
+  stats = registry.verify_stats();
+  EXPECT_EQ(stats.batch_fallbacks, 1u);
+}
+
+TEST(SignatureSchemeTest, HmacBatchLoopsScalar) {
+  KeyRegistry registry(CryptoScheme::kSimulatedHmac);
+  Bytes digest = ToBytes("hmac digest");
+  std::vector<NodeId> nodes;
+  std::vector<Signature> sigs;
+  for (uint16_t i = 0; i < 3; ++i) {
+    NodeId node{0, i};
+    registry.RegisterNode(node);
+    nodes.push_back(node);
+    sigs.push_back(registry.Sign(node, digest));
+  }
+  std::vector<const Signature*> sig_ptrs;
+  for (const Signature& s : sigs) sig_ptrs.push_back(&s);
+  EXPECT_TRUE(
+      registry.VerifyBatch(nodes, digest.data(), digest.size(), sig_ptrs));
+  sigs[2][5] ^= 4;
+  EXPECT_FALSE(
+      registry.VerifyBatch(nodes, digest.data(), digest.size(), sig_ptrs));
+}
+
+TEST(SignatureSchemeTest, Ed25519DerivationIsDeterministic) {
+  KeyRegistry r1(CryptoScheme::kEd25519), r2(CryptoScheme::kEd25519);
+  NodeId node{3, 1};
+  r1.RegisterNode(node);
+  r2.RegisterNode(node);
+  Bytes msg = ToBytes("cross-registry");
+  // ed25519 signing is deterministic (RFC 8032), so identical derived
+  // keys produce identical signatures.
+  EXPECT_EQ(r1.Sign(node, msg), r2.Sign(node, msg));
 }
 
 }  // namespace

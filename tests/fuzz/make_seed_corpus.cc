@@ -58,7 +58,7 @@ Certificate RandCert(Rng& rng) {
   cert.gid = 1;
   cert.digest = RandDigest(rng);
   for (size_t i = 0; i < 2; ++i)
-    cert.sigs.emplace_back(NodeId{1, static_cast<uint16_t>(i)}, RandSig(rng));
+    cert.AddSignature(static_cast<uint16_t>(i), RandSig(rng));
   return cert;
 }
 
@@ -102,6 +102,15 @@ std::vector<std::pair<std::string, Bytes>> SeedFrames() {
                      {TimestampElement{1, 2, 3, 4}}, 2, 55));
   add("heartbeat", GroupHeartbeatMsg(3, 12));
   add("catch_up_done", CatchUpDoneMsg());
+  // v3 compact-cert stress: a sparse participation bitmap (high signer
+  // index) exercises the multi-byte bitmap decode path.
+  Certificate wide;
+  wide.gid = 1;
+  wide.digest = RandDigest(rng);
+  wide.AddSignature(0, RandSig(rng));
+  wide.AddSignature(77, RandSig(rng));
+  add("entry_transfer_wide_cert",
+      EntryTransferMsg(RandEntry(rng), wide));
   return seeds;
 }
 

@@ -83,8 +83,7 @@ Certificate RandCert(Rng& rng) {
   cert.digest = RandDigest(rng);
   size_t n = 1 + rng.NextBelow(3);
   for (size_t i = 0; i < n; ++i)
-    cert.sigs.emplace_back(
-        NodeId{cert.gid, static_cast<uint16_t>(i)}, RandSig(rng));
+    cert.AddSignature(static_cast<uint16_t>(i), RandSig(rng));
   return cert;
 }
 
@@ -281,7 +280,7 @@ TEST(WireRoundTripTest, FieldLevelSpotChecks) {
     auto& decoded = static_cast<const EntryTransferMsg&>(*frame->msg);
     EXPECT_EQ(decoded.entry()->digest(), entry->digest());
     EXPECT_EQ(decoded.entry()->txns(), entry->txns());
-    EXPECT_EQ(decoded.cert().sigs, cert.sigs);
+    EXPECT_EQ(decoded.cert(), cert);
   }
   {
     auto elements = RandElements(rng);

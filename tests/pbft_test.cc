@@ -169,7 +169,7 @@ TEST_F(PbftFixture, CertificateHasQuorumAndVerifies) {
   bus_->Deliver();
   ASSERT_FALSE(nodes_[3]->committed.empty());
   const Certificate& cert = nodes_[3]->committed[0].second;
-  EXPECT_EQ(static_cast<int>(cert.sigs.size()), 5);
+  EXPECT_EQ(static_cast<int>(cert.NumSignatures()), 5);
   EXPECT_TRUE(cert.Verify(bus_->registry, 5));
   EXPECT_EQ(cert.digest, entry->digest());
 }
@@ -335,7 +335,7 @@ TEST_F(CertifierFixture, CertifiesWithQuorum) {
   bus_->Deliver();
   ASSERT_EQ(nodes_[0]->certified.size(), 1u);
   const Certificate& cert = nodes_[0]->certified[0].second;
-  EXPECT_EQ(static_cast<int>(cert.sigs.size()), 3);
+  EXPECT_EQ(static_cast<int>(cert.NumSignatures()), 3);
   Digest digest = DigestCertifier::DecisionDigest(Decision());
   EXPECT_EQ(cert.digest, digest);
   EXPECT_TRUE(cert.Verify(bus_->registry, 3));

@@ -96,7 +96,7 @@ class CertificateTest : public ::testing::Test {
     Bytes payload(digest.begin(), digest.end());
     for (int i = 0; i < num_sigs; ++i) {
       NodeId node{1, static_cast<uint16_t>(i)};
-      cert.sigs.emplace_back(node, registry_.Sign(node, payload));
+      cert.AddSignature(node.index, registry_.Sign(node, payload));
     }
     return cert;
   }
@@ -117,19 +117,40 @@ TEST_F(CertificateTest, InsufficientSignaturesFail) {
 }
 
 TEST_F(CertificateTest, DuplicateSignersNotDoubleCounted) {
+  // The bitmap makes duplicate signers unrepresentable: re-adding an
+  // index is a no-op, so a 3-signer cert can never inflate to a 5-quorum.
   Certificate cert = MakeCert(digest_, 3);
-  cert.sigs.push_back(cert.sigs[0]);
-  cert.sigs.push_back(cert.sigs[0]);
+  Bytes payload(digest_.begin(), digest_.end());
+  cert.AddSignature(0, registry_.Sign(NodeId{1, 0}, payload));
+  cert.AddSignature(0, registry_.Sign(NodeId{1, 0}, payload));
+  EXPECT_EQ(cert.NumSignatures(), 3u);
   EXPECT_FALSE(cert.Verify(registry_, 5));
 }
 
-TEST_F(CertificateTest, ForeignSignerInvalidatesCert) {
-  registry_.RegisterNode(NodeId{2, 0});
+TEST_F(CertificateTest, UnregisteredSignerDoesNotCount) {
+  // Index 200 exists in no registry; its "signature" must not count
+  // toward the quorum (and the batch path must fall back, not crash).
+  Certificate cert = MakeCert(digest_, 4);
+  cert.AddSignature(200, Signature{});
+  EXPECT_EQ(cert.NumSignatures(), 5u);
+  EXPECT_FALSE(cert.Verify(registry_, 5));
+  EXPECT_TRUE(cert.Verify(registry_, 4));  // The 4 real ones still count.
+}
+
+TEST_F(CertificateTest, ForgedSignatureIsNamed) {
   Certificate cert = MakeCert(digest_, 5);
   Bytes payload(digest_.begin(), digest_.end());
-  cert.sigs.emplace_back(NodeId{2, 0},
-                         registry_.Sign(NodeId{2, 0}, payload));
-  EXPECT_FALSE(cert.Verify(registry_, 5));
+  // Replace node 2's signature with node 6's (valid key, wrong signer).
+  Certificate forged;
+  forged.gid = cert.gid;
+  forged.digest = cert.digest;
+  for (uint16_t i = 0; i < 5; ++i) {
+    NodeId signer{1, i == 2 ? static_cast<uint16_t>(6) : i};
+    forged.AddSignature(i, registry_.Sign(signer, payload));
+  }
+  std::vector<uint16_t> forgers;
+  EXPECT_TRUE(forged.Verify(registry_, 4, &forgers));
+  EXPECT_EQ(forgers, std::vector<uint16_t>{2});
 }
 
 TEST_F(CertificateTest, WrongDigestSignaturesFail) {
@@ -148,8 +169,31 @@ TEST_F(CertificateTest, EncodeDecodeRoundTrip) {
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->gid, cert.gid);
   EXPECT_EQ(decoded->digest, cert.digest);
-  ASSERT_EQ(decoded->sigs.size(), cert.sigs.size());
+  ASSERT_EQ(decoded->NumSignatures(), cert.NumSignatures());
+  EXPECT_EQ(*decoded, cert);
   EXPECT_TRUE(decoded->Verify(registry_, 5));
+}
+
+TEST_F(CertificateTest, CompactEncodingShrinksWireSize) {
+  // 5 signers over a 7-node group: one bitmap byte + 5 * 64 sig bytes
+  // versus the old 5 * (4 + 64) explicit pair list.
+  Certificate cert = MakeCert(digest_, 5);
+  EXPECT_EQ(cert.ByteSize(), 2u + 32u + 2u + 1u + 5u * sizeof(Signature));
+  EXPECT_LT(cert.ByteSize(), 2u + 32u + 2u + 5u * (4u + 64u));
+}
+
+TEST_F(CertificateTest, NonCanonicalBitmapRejected) {
+  Certificate cert = MakeCert(digest_, 2);
+  BinaryWriter w;
+  cert.EncodeTo(&w);
+  // Splice a trailing zero bitmap byte in: same signer set, longer
+  // encoding. Layout: gid(2) digest(32) bitmap_len(2) bitmap sigs.
+  Bytes bytes = w.buffer();
+  ASSERT_EQ(bytes[34], 1);  // bitmap_len lo byte
+  bytes[34] = 2;
+  bytes.insert(bytes.begin() + 37, 0);  // after the original bitmap byte
+  BinaryReader r(bytes);
+  EXPECT_FALSE(Certificate::DecodeFrom(&r).ok());
 }
 
 // ---------------------------------------------------------- Message sizes
@@ -178,7 +222,7 @@ TEST(MessageSizeTest, EntryTransferCarriesEntryAndCert) {
   auto entry = std::make_shared<const Entry>(
       0, 1, std::vector<Transaction>{MakeTxn(1, 201)});
   Certificate cert;
-  cert.sigs.resize(5);
+  for (uint16_t i = 0; i < 5; ++i) cert.AddSignature(i, Signature{});
   EntryTransferMsg msg(entry, cert);
   // The entry rides as a length-prefixed blob of its canonical encoding;
   // entry-carrying frames also attach the wire trace context.
@@ -196,7 +240,7 @@ TEST(MessageSizeTest, ChunkBatchAccountsChunksProofsAndCert) {
   chunk.proof.leaf_count = 28;
   chunk.proof.path.resize(5);
   Certificate cert;
-  cert.sigs.resize(5);
+  for (uint16_t i = 0; i < 5; ++i) cert.AddSignature(i, Signature{});
   ChunkBatchMsg msg(0, 1, Digest{}, cert, {chunk}, 13000);
   size_t expected = kFrameOverheadBytes + kTraceContextBytes + 2 + 8 + 32 + 8 +
                     cert.ByteSize() + /*chunk count varint*/ 1 +

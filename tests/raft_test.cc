@@ -37,7 +37,7 @@ class RaftHarness {
         cert.digest = DigestCertifier::DecisionDigest(decision);
         NodeId node{static_cast<uint16_t>(g), 0};
         Bytes payload(cert.digest.begin(), cert.digest.end());
-        cert.sigs.emplace_back(node, registry_.Sign(node, payload));
+        cert.AddSignature(node.index, registry_.Sign(node, payload));
         done(std::move(cert));
       };
       cb.verify_group_cert = [this](const Certificate& cert,
@@ -82,7 +82,7 @@ class RaftHarness {
     cert.digest = digest;
     NodeId node{static_cast<uint16_t>(g), 0};
     Bytes payload(digest.begin(), digest.end());
-    cert.sigs.emplace_back(node, registry_.Sign(node, payload));
+    cert.AddSignature(node.index, registry_.Sign(node, payload));
     if (auto_available_) {
       for (int j = 0; j < num_groups_; ++j)
         available_[j].insert({static_cast<uint16_t>(g), seq});

@@ -203,7 +203,7 @@ class RebuilderTest : public ::testing::Test {
     Bytes payload(cert_.digest.begin(), cert_.digest.end());
     for (int i = 0; i < 3; ++i) {  // 2f+1 = 3 for n=4.
       NodeId node{0, static_cast<uint16_t>(i)};
-      cert_.sigs.emplace_back(node, registry_.Sign(node, payload));
+      cert_.AddSignature(node.index, registry_.Sign(node, payload));
     }
   }
 
